@@ -1,0 +1,49 @@
+"""Shared machinery for the figure benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each test reproduces one table or figure of the paper's evaluation
+(Section 7): it sweeps the same x-axis, runs the same algorithms, prints a
+paper-style series table to the terminal, and records the raw numbers
+under ``benchmarks/results/``.  ``REPRO_BENCH_SCALE`` (default 1.0) scales
+the synthetic datasets; use e.g. ``0.3`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure table through pytest's capture and persist it."""
+
+    def emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        out = RESULTS_DIR / f"{name}.txt"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def budget_seconds() -> float | None:
+    """Per-cell DNF budget (the paper's 10-hour cutoff, scaled)."""
+    raw = os.environ.get("REPRO_BENCH_BUDGET", "300")
+    value = float(raw)
+    return value if value > 0 else None

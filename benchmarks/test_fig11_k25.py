@@ -1,0 +1,57 @@
+"""Figure 11: rankings of size k = 25 (ORKU-25), runtime vs theta.
+
+Reproduction targets: the proposed algorithms still beat VJ; the VJ vs
+VJ-NL gap narrows; CL is close to VJ-NL; CL-P is the best except at
+theta = 0.1 (paper: CL-P beats VJ-NL by 1.5x at 0.2 and 1.9x at
+0.3/0.4; delta fixed to 5000 there, a similar fraction of n here).
+"""
+
+from repro.bench import (
+    PAPER_ALGORITHMS,
+    format_series_table,
+    load_workload,
+    run_series,
+    speedup,
+)
+
+THETAS = [0.1, 0.2, 0.3, 0.4]
+
+
+def test_fig11_k25(benchmark, report, budget_seconds):
+    # The paper fixes delta = 5000 for its 1.5M-record dataset; at our
+    # scale the same *role* (split only the genuinely oversized lists)
+    # needs a floor well above the typical list length.
+    delta = max(20, len(load_workload("orku25")) // 50)
+
+    def sweep():
+        series = {}
+        for algorithm in PAPER_ALGORITHMS:
+            kwargs = {"num_partitions": 64, "budget_seconds": budget_seconds}
+            if algorithm == "cl-p":
+                kwargs["partition_threshold"] = delta
+            series[algorithm] = run_series(
+                algorithm, "orku25", THETAS, **kwargs
+            )
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {name: s.values("wall") for name, s in series.items()}
+    lines = [
+        format_series_table(
+            "Figure 11: ORKU top-25 rankings, runtime vs theta",
+            "theta", THETAS, table,
+        )
+    ]
+    for index, theta in enumerate(THETAS):
+        ratio = speedup(table["vj-nl"][index], table["cl-p"][index])
+        if ratio is not None:
+            lines.append(f"CL-P vs VJ-NL at theta={theta}: {ratio:.1f}x")
+    report("fig11_k25", "\n".join(lines))
+
+    counts = {
+        name: [r.result_count for r in s.records if r is not None and not r.dnf]
+        for name, s in series.items()
+    }
+    reference = counts["vj"]
+    for name, values in counts.items():
+        assert values[: len(reference)] == reference[: len(values)]

@@ -1,0 +1,53 @@
+"""Figure 12: VJ / VJ-NL / CL vs the number of Spark partitions.
+
+Two panels (DBLP, DBLPx5) at theta = 0.3.  The per-partition effect is a
+scheduling phenomenon, so the series reported is the simulated makespan
+on the paper's Table 3 cluster (tasks themselves are identical work).
+
+Reproduction target: the runtime is largely insensitive to the partition
+count — a gentle bathtub, no cliffs.
+"""
+
+import pytest
+
+from repro.bench import RunConfig, format_series_table, run
+
+PARTITIONS = [16, 48, 86, 186, 286]
+PANELS = {"a": "dblp", "b": "dblpx5"}
+THETA = 0.3
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig12_partitions(benchmark, report, panel):
+    workload = PANELS[panel]
+
+    def sweep():
+        table = {}
+        for algorithm in ("vj", "vj-nl", "cl"):
+            row = []
+            for partitions in PARTITIONS:
+                record = run(
+                    RunConfig(
+                        algorithm=algorithm, workload=workload, theta=THETA,
+                        num_partitions=partitions,
+                    )
+                )
+                row.append(record.simulated_on("table3"))
+            table[algorithm] = row
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        format_series_table(
+            f"Figure 12({panel}): simulated runtime vs partitions "
+            f"({workload.upper()}, theta=0.3)",
+            "partitions", PARTITIONS, table,
+        )
+    ]
+    report(f"fig12{panel}_{workload}", "\n".join(lines))
+
+    # Shape: no algorithm is wildly sensitive to the partition count.
+    for algorithm, row in table.items():
+        assert max(row) <= 5 * min(row), (
+            f"{algorithm} on {workload}: partition sensitivity too extreme"
+        )

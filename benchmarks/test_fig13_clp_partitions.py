@@ -1,0 +1,38 @@
+"""Figure 13: CL-P vs the number of Spark partitions (DBLPx5, theta=0.3).
+
+The paper scans a larger partition range for CL-P (286-686) because the
+repartitioning step multiplies partition counts.  Reproduction target:
+flat response, slight dip then rise, nothing dramatic.
+"""
+
+from repro.bench import RunConfig, format_series_table, run
+
+PARTITIONS = [86, 186, 286, 486, 686]
+THETA = 0.3
+
+
+def test_fig13_clp_partitions(benchmark, report):
+    def sweep():
+        row = []
+        for partitions in PARTITIONS:
+            record = run(
+                RunConfig(
+                    algorithm="cl-p", workload="dblpx5", theta=THETA,
+                    num_partitions=partitions,
+                )
+            )
+            row.append(record.simulated_on("table3"))
+        return {"cl-p": row}
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        format_series_table(
+            "Figure 13: CL-P simulated runtime vs partitions "
+            "(DBLPx5, theta=0.3, delta default)",
+            "partitions", PARTITIONS, table,
+        )
+    ]
+    report("fig13_clp_partitions", "\n".join(lines))
+
+    row = table["cl-p"]
+    assert max(row) <= 5 * min(row), "CL-P partition sensitivity too extreme"

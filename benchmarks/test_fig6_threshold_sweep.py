@@ -1,0 +1,67 @@
+"""Figure 6: execution time vs distance threshold theta, all algorithms.
+
+Five panels — DBLP, DBLPx5, DBLPx10, ORKU, ORKUx5 — each sweeping
+theta in {0.1, 0.2, 0.3, 0.4} for VJ, VJ-NL, CL, and CL-P
+(theta_c = 0.03 throughout, delta per dataset as in the paper).
+
+Reproduction targets: CL/CL-P overtake VJ for theta >= 0.3 on the larger
+datasets; at theta = 0.1 the extra phases do not pay off; the growth from
+theta 0.1 to 0.4 is steepest for VJ and flattest for CL-P; on the smallest
+dataset (DBLP x1) the optimizations are overhead.
+"""
+
+import pytest
+
+from repro.bench import (
+    PAPER_ALGORITHMS,
+    format_series_table,
+    growth_factor,
+    run_series,
+)
+
+THETAS = [0.1, 0.2, 0.3, 0.4]
+PANELS = {
+    "a": "dblp",
+    "b": "dblpx5",
+    "c": "dblpx10",
+    "d": "orku",
+    "e": "orkux5",
+}
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig6_threshold_sweep(benchmark, report, budget_seconds, panel):
+    workload = PANELS[panel]
+
+    def sweep():
+        return {
+            algorithm: run_series(
+                algorithm, workload, THETAS,
+                budget_seconds=budget_seconds, num_partitions=64,
+            )
+            for algorithm in PAPER_ALGORITHMS
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {name: s.values("wall") for name, s in series.items()}
+    lines = [
+        format_series_table(
+            f"Figure 6({panel}): {workload.upper()} runtime vs theta",
+            "theta", THETAS, table,
+        )
+    ]
+    for name, values in table.items():
+        factor = growth_factor(values)
+        if factor is not None:
+            lines.append(f"growth x{factor:.1f} for {name} (theta 0.1 -> 0.4)")
+    report(f"fig6{panel}_{workload}", "\n".join(lines))
+
+    counts = {
+        name: [r.result_count for r in s.records if r is not None and not r.dnf]
+        for name, s in series.items()
+    }
+    reference = counts["vj"]
+    for name, values in counts.items():
+        assert values[: len(reference)] == reference[: len(values)], (
+            f"{name} result counts diverge from VJ on {workload}"
+        )

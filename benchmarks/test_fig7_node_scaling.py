@@ -1,0 +1,51 @@
+"""Figure 7: CL-P on a 4-node vs an 8-node cluster (DBLPx5 and ORKU).
+
+The paper reduces executors to 3 cores and lets YARN size the executor
+count; our cluster model mirrors that with ``ClusterConfig.for_nodes``.
+Tasks run once; both cluster shapes replay the same recorded task
+durations, exactly isolating the effect of parallelism.
+
+Reproduction target: the 8-node cluster is consistently faster, with the
+largest relative gain at theta = 0.4 (paper: 22-46% savings).
+"""
+
+import pytest
+
+from repro.bench import format_series_table, run_series
+
+THETAS = [0.1, 0.2, 0.3, 0.4]
+
+
+@pytest.mark.parametrize("workload", ["dblpx5", "orku"])
+def test_fig7_node_scaling(benchmark, report, budget_seconds, workload):
+    def sweep():
+        return run_series(
+            "cl-p", workload, THETAS,
+            budget_seconds=budget_seconds, num_partitions=96,
+        )
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {
+        "4 nodes": series.values("simulated", cluster="nodes4"),
+        "8 nodes": series.values("simulated", cluster="nodes8"),
+    }
+    lines = [
+        format_series_table(
+            f"Figure 7: CL-P on 4 vs 8 nodes ({workload.upper()})",
+            "theta", THETAS, table,
+        )
+    ]
+    savings = []
+    for four, eight in zip(table["4 nodes"], table["8 nodes"]):
+        if four and eight:
+            savings.append(100 * (1 - eight / four))
+    lines.append(
+        "time savings 4->8 nodes: "
+        + ", ".join(f"{s:.0f}%" for s in savings)
+    )
+    report(f"fig7_nodes_{workload}", "\n".join(lines))
+
+    # Shape assertion: 8 nodes never slower than 4 on any measured theta.
+    for four, eight in zip(table["4 nodes"], table["8 nodes"]):
+        if four is not None and eight is not None:
+            assert eight <= four * 1.02

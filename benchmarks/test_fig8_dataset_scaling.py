@@ -1,0 +1,42 @@
+"""Figure 8: CL-P runtime as the DBLP dataset grows (x1, x5, x10).
+
+One line per theta in {0.1 .. 0.4}.  Reproduction targets: runtime rises
+with the dataset size for every theta; the steepest rise is at
+theta = 0.4 between x5 and x10 (the paper attributes its own 7x jump
+there to a suboptimal delta).
+"""
+
+from repro.bench import RunConfig, format_series_table, run
+
+SIZES = {"dblp": 1, "dblpx5": 5, "dblpx10": 10}
+THETAS = [0.1, 0.2, 0.3, 0.4]
+
+
+def test_fig8_dataset_scaling(benchmark, report):
+    def sweep():
+        table = {}
+        for theta in THETAS:
+            row = []
+            for workload in SIZES:
+                record = run(
+                    RunConfig(
+                        algorithm="cl-p", workload=workload, theta=theta,
+                        num_partitions=64,
+                    )
+                )
+                row.append(record.wall_seconds)
+            table[f"theta={theta}"] = row
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        format_series_table(
+            "Figure 8: CL-P runtime vs DBLP dataset increase",
+            "increase", list(SIZES.values()), table,
+        )
+    ]
+    report("fig8_dataset_scaling", "\n".join(lines))
+
+    # Shape: every theta line grows with the dataset size.
+    for theta, row in table.items():
+        assert row[0] < row[-1], f"{theta} did not grow with dataset size"

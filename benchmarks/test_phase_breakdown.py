@@ -1,0 +1,47 @@
+"""CL phase breakdown: where the time goes as theta grows.
+
+Not a paper figure, but the paper's design rationale in one table: the
+joining phase dominates and grows with theta, while ordering and
+clustering stay (almost) constant — which is exactly why shrinking the
+joining phase's input (clustering) and splitting its posting lists (CL-P)
+pays off at large theta.
+"""
+
+from repro.bench import format_series_table, load_workload
+from repro.joins import cl_join
+from repro.minispark import Context
+
+THETAS = [0.1, 0.2, 0.3, 0.4]
+PHASES = ("ordering", "clustering", "joining", "expansion")
+
+
+def test_cl_phase_breakdown(benchmark, report):
+    dataset = load_workload("dblpx5")
+
+    def sweep():
+        rows = {phase: [] for phase in PHASES}
+        for theta in THETAS:
+            result = cl_join(Context(64), dataset, theta, num_partitions=64)
+            for phase in PHASES:
+                rows[phase].append(result.phase_seconds[phase])
+        return rows
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        format_series_table(
+            "CL phase breakdown vs theta (DBLPx5)", "theta", THETAS, table,
+        )
+    ]
+    share = [
+        table["joining"][i]
+        / sum(table[p][i] for p in PHASES)
+        for i in range(len(THETAS))
+    ]
+    lines.append(
+        "joining-phase share: "
+        + ", ".join(f"{s:.0%}" for s in share)
+    )
+    report("phase_breakdown", "\n".join(lines))
+
+    # The design rationale: by theta = 0.4 the joining phase dominates.
+    assert table["joining"][-1] == max(table[p][-1] for p in PHASES)

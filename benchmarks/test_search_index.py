@@ -1,0 +1,49 @@
+"""Range-search substrate: prefix index vs coarse index query cost.
+
+Not a paper figure — the [18] substrate's own sanity benchmark: both
+indexes answer identically; the coarse index resolves cluster members by
+the triangle inequality instead of verifying them.
+"""
+
+from repro.bench import format_series_table, load_workload
+from repro.search import CoarseIndex, PrefixIndex
+
+THETAS = [0.05, 0.1, 0.2]
+NUM_QUERIES = 200
+
+
+def test_search_index_cost(benchmark, report):
+    dataset = load_workload("orku")
+    queries = dataset.rankings[:NUM_QUERIES]
+
+    def sweep():
+        rows = {"prefix verifications": [], "coarse verifications": [],
+                "coarse accepts": []}
+        for theta in THETAS:
+            prefix_index = PrefixIndex(dataset, theta_max=max(THETAS))
+            coarse_index = CoarseIndex(
+                dataset, theta_max=max(THETAS), theta_c=0.03
+            )
+            prefix_total = 0
+            coarse_total = 0
+            for query in queries:
+                prefix_total += len(prefix_index.query(query, theta))
+                coarse_total += len(coarse_index.query(query, theta))
+            assert prefix_total == coarse_total
+            rows["prefix verifications"].append(prefix_index.stats.verified)
+            rows["coarse verifications"].append(
+                coarse_index.total_verifications
+            )
+            rows["coarse accepts"].append(
+                coarse_index.stats.triangle_accepted
+            )
+        return rows
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "search_index_cost",
+        format_series_table(
+            f"Range search: per-{NUM_QUERIES}-query filter work (ORKU)",
+            "theta", THETAS, table, unit="count",
+        ),
+    )

@@ -1,0 +1,28 @@
+"""Table 3: the Spark execution parameters used throughout the evaluation.
+
+There is nothing to measure — the table is a configuration — but the
+benchmark asserts our simulated cluster's defaults reproduce it exactly
+and prints the same rows the paper lists.
+"""
+
+from repro.minispark import TABLE3_CONFIG
+
+
+def test_table3_spark_parameters(benchmark, report):
+    def check():
+        assert TABLE3_CONFIG.driver_memory_gb == 12
+        assert TABLE3_CONFIG.executor_memory_gb == 8
+        assert TABLE3_CONFIG.executor_instances == 24
+        assert TABLE3_CONFIG.executor_cores == 5
+        return TABLE3_CONFIG
+
+    config = benchmark.pedantic(check, rounds=1, iterations=1)
+    rows = [
+        "== Table 3: Spark parameters used for the evaluation ==",
+        f"spark.driver.memory      {config.driver_memory_gb}G",
+        f"spark.executor.memory    {config.executor_memory_gb}GB",
+        f"spark.executor.instances {config.executor_instances}",
+        f"spark.executor.cores     {config.executor_cores}",
+        f"(total task slots: {config.slots})",
+    ]
+    report("table3_config", "\n".join(rows))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Online similarity search: "find rankings similar to this one", repeatedly.
+
+Joins answer the batch question (all similar pairs); a recommender or
+dating portal also needs the online one — given *one* user's top-k list,
+return the similar users now.  This example builds both range-search
+indexes from the prior-work substrate (prefix inverted index and the
+cluster-pruned coarse index), verifies they agree, and compares how much
+work each does per query.
+
+    python examples/live_search.py
+"""
+
+from time import perf_counter
+
+from repro import make_dataset
+from repro.search import CoarseIndex, PrefixIndex, range_search_bruteforce
+
+
+def main() -> None:
+    dataset = make_dataset("orku", seed=4)
+    print(f"user base: {len(dataset)} top-{dataset.k} preference rankings")
+
+    build_start = perf_counter()
+    prefix_index = PrefixIndex(dataset, theta_max=0.3)
+    prefix_build = perf_counter() - build_start
+    build_start = perf_counter()
+    coarse_index = CoarseIndex(dataset, theta_max=0.3, theta_c=0.03)
+    coarse_build = perf_counter() - build_start
+    print(
+        f"prefix index: {prefix_index.num_posting_lists} posting lists "
+        f"(built in {prefix_build:.2f}s)"
+    )
+    print(
+        f"coarse index: {coarse_index.num_clusters} clusters + "
+        f"{coarse_index.num_singletons} singletons "
+        f"(built in {coarse_build:.2f}s)"
+    )
+
+    queries = dataset.rankings[:200]
+    theta = 0.15
+
+    start = perf_counter()
+    prefix_hits = sum(
+        len(prefix_index.query(q, theta)) for q in queries
+    )
+    prefix_seconds = perf_counter() - start
+
+    start = perf_counter()
+    coarse_hits = sum(
+        len(coarse_index.query(q, theta)) for q in queries
+    )
+    coarse_seconds = perf_counter() - start
+
+    assert prefix_hits == coarse_hits, "indexes must agree"
+    sample_truth = range_search_bruteforce(dataset, queries[0], theta)
+    sample_index = prefix_index.query(queries[0], theta)
+    assert [(r.rid, d) for r, d in sample_truth] == [
+        (r.rid, d) for r, d in sample_index
+    ]
+
+    print(f"\n{len(queries)} queries at theta = {theta}: "
+          f"{prefix_hits} total matches")
+    print(f"prefix index: {prefix_seconds:.3f}s, "
+          f"{prefix_index.stats.verified} verifications")
+    print(f"coarse index: {coarse_seconds:.3f}s, "
+          f"{coarse_index.stats.verified} verifications "
+          f"({coarse_index.stats.triangle_filtered} clusters/members "
+          f"triangle-pruned, {coarse_index.stats.triangle_accepted} "
+          "accepted without verification)")
+
+    best = max(queries, key=lambda q: len(prefix_index.query(q, theta)))
+    matches = prefix_index.query(best, theta)[:5]
+    print(f"\nbusiest query: user {best.rid} -> "
+          + ", ".join(f"user {r.rid} (d={d})" for r, d in matches))
+
+
+if __name__ == "__main__":
+    main()

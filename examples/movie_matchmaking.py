@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Matchmaking by movie taste — the paper's Table 1 scenario, end to end.
+
+A dating portal stores each member's top-5 favourite movies.  Members
+whose lists have a small Spearman's Footrule distance have similar taste
+and should be matched.  We start from the paper's own example (Alice, Bob
+and Chris) and then scale the scenario up to a synthetic member base to
+show the same query running through the distributed CL algorithm.
+
+    python examples/movie_matchmaking.py
+"""
+
+import random
+
+from repro import Context, Ranking, RankingDataset, footrule_normalized, similarity_join
+
+MOVIES = [
+    "Pulp Fiction", "E.T.", "Forrest Gump", "Indiana Jones", "Titanic",
+    "The Schindler List", "Lord of the Rings", "Avengers", "The Godfather",
+    "Casablanca", "Alien", "Amelie", "Gladiator", "Heat", "Inception",
+    "Jaws", "Metropolis", "Nosferatu", "Oldboy", "Psycho", "Rashomon",
+    "Seven", "Taxi Driver", "Up", "Vertigo", "WALL-E",
+]
+MOVIE_ID = {title: index for index, title in enumerate(MOVIES)}
+
+#: Table 1 of the paper.
+TABLE1 = {
+    "Alice": ["Pulp Fiction", "E.T.", "Forrest Gump", "Indiana Jones", "Titanic"],
+    "Bob": ["The Schindler List", "Lord of the Rings", "Avengers",
+            "Indiana Jones", "E.T."],
+    "Chris": ["Indiana Jones", "Pulp Fiction", "Forrest Gump", "E.T.", "Titanic"],
+}
+
+
+def table1_demo() -> None:
+    print("— Table 1: pairwise distances —")
+    members = {
+        name: Ranking(i, [MOVIE_ID[m] for m in favourites])
+        for i, (name, favourites) in enumerate(TABLE1.items())
+    }
+    names = list(members)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            d = footrule_normalized(members[a], members[b])
+            verdict = "match!" if d <= 0.4 else "no match"
+            print(f"  {a:<6s} vs {b:<6s} distance {d:.2f}  -> {verdict}")
+
+
+def synthetic_portal(num_members: int = 600, seed: int = 3) -> RankingDataset:
+    """Members cluster around taste archetypes, like real user bases."""
+    rng = random.Random(seed)
+    archetypes = [rng.sample(range(len(MOVIES)), 5) for _ in range(24)]
+    rankings = []
+    for member_id in range(num_members):
+        taste = list(rng.choice(archetypes))
+        # Individual quirks: swap neighbours, maybe a personal favourite.
+        for _ in range(rng.randrange(3)):
+            pos = rng.randrange(4)
+            taste[pos], taste[pos + 1] = taste[pos + 1], taste[pos]
+        if rng.random() < 0.3:
+            taste[rng.randrange(5)] = rng.choice(
+                [m for m in range(len(MOVIES)) if m not in taste]
+            )
+        rankings.append(Ranking(member_id, taste))
+    return RankingDataset(rankings)
+
+
+def main() -> None:
+    table1_demo()
+
+    portal = synthetic_portal()
+    print(f"\n— Matchmaking over {len(portal)} members (top-5 lists) —")
+    result = similarity_join(
+        portal, theta=0.25, algorithm="cl", theta_c=0.05,
+        ctx=Context(default_parallelism=8),
+    ).with_distances(portal)
+
+    print(f"{len(result)} candidate matches within distance 0.25")
+    best = sorted(result.pairs, key=lambda pair: pair[2])[:5]
+    for member_a, member_b, distance in best:
+        favourites = ", ".join(
+            MOVIES[m] for m in portal.by_id()[member_a].items[:3]
+        )
+        print(
+            f"  member {member_a:3d} ~ member {member_b:3d}"
+            f" (distance {distance:2d}; shared taste: {favourites}, ...)"
+        )
+
+    matches_per_member = 2 * len(result) / len(portal)
+    print(f"average matches per member: {matches_per_member:.1f}")
+
+
+if __name__ == "__main__":
+    main()

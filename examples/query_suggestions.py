@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Grouping related search queries by their result lists.
+
+The paper's introduction motivates similarity joins over top-k rankings
+with query suggestion: two queries whose top-10 result lists are close
+retrieve the same content, so one can be suggested for the other.  This
+example builds a synthetic query log (query families share underlying
+intents, so their result lists are near-duplicates), joins it with VJ and
+CL, shows both produce the identical suggestion graph, and derives
+suggestion groups from the join result with a union-find pass.
+
+    python examples/query_suggestions.py
+"""
+
+import random
+from collections import defaultdict
+
+from repro import Context, Ranking, RankingDataset, similarity_join
+
+NUM_DOCUMENTS = 5000
+NUM_INTENTS = 60
+QUERIES_PER_INTENT = 6
+K = 10
+
+
+def build_query_log(seed: int = 17) -> tuple:
+    """Queries of one intent see nearly the same top-10 documents."""
+    rng = random.Random(seed)
+    queries = []
+    labels = []
+    qid = 0
+    for intent in range(NUM_INTENTS):
+        base_results = rng.sample(range(NUM_DOCUMENTS), K)
+        for variant in range(QUERIES_PER_INTENT):
+            results = list(base_results)
+            for _ in range(rng.randrange(3)):  # ranker jitter
+                pos = rng.randrange(K - 1)
+                results[pos], results[pos + 1] = results[pos + 1], results[pos]
+            if rng.random() < 0.25:  # fresh document enters the top-10
+                results[rng.randrange(K)] = rng.choice(
+                    [d for d in range(NUM_DOCUMENTS) if d not in results]
+                )
+            queries.append(Ranking(qid, results))
+            labels.append(f"intent{intent:02d}/q{variant}")
+            qid += 1
+    return RankingDataset(queries), labels
+
+
+class UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def main() -> None:
+    log, labels = build_query_log()
+    print(f"query log: {len(log)} queries, top-{log.k} result lists")
+
+    theta = 0.15
+    cl = similarity_join(log, theta, algorithm="cl",
+                         ctx=Context(default_parallelism=8))
+    vj = similarity_join(log, theta, algorithm="vj",
+                         ctx=Context(default_parallelism=8))
+    assert cl.pair_set() == vj.pair_set(), "algorithms must agree"
+    print(f"{len(cl)} similar query pairs at theta = {theta} "
+          "(CL and VJ agree)")
+
+    groups = UnionFind(len(log))
+    for qid_a, qid_b, _distance in cl.pairs:
+        groups.union(qid_a, qid_b)
+    by_root = defaultdict(list)
+    for qid in range(len(log)):
+        by_root[groups.find(qid)].append(qid)
+    suggestion_groups = [g for g in by_root.values() if len(g) > 1]
+    print(f"{len(suggestion_groups)} suggestion groups "
+          f"(largest has {max(len(g) for g in suggestion_groups)} queries)")
+
+    # How pure are the groups w.r.t. the hidden intents?
+    pure = sum(
+        1
+        for group in suggestion_groups
+        if len({labels[q].split("/")[0] for q in group}) == 1
+    )
+    print(f"{pure}/{len(suggestion_groups)} groups contain a single intent")
+
+    sample = max(suggestion_groups, key=len)
+    print("example group:", ", ".join(labels[q] for q in sorted(sample)[:8]))
+
+
+if __name__ == "__main__":
+    main()

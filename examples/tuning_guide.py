@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Tuning walkthrough: picking theta_c and delta like Section 6 suggests.
+
+Shows the analysis toolkit in action on an ORKU-shaped dataset:
+
+1. dataset statistics and the fitted Zipf skew;
+2. posting-list shape at the join threshold and the Equation 4 estimate;
+3. the suggested partitioning threshold delta;
+4. what the clustering phase would collapse at several theta_c values;
+5. a CL vs CL-P run with the chosen parameters, including the simulated
+   makespan on different cluster sizes.
+
+    python examples/tuning_guide.py
+"""
+
+from repro import ClusterConfig, Context, cl_join, make_dataset
+from repro.analysis import (
+    cluster_statistics,
+    dataset_statistics,
+    estimate_posting_lists,
+    posting_list_statistics,
+    suggest_partition_threshold,
+)
+
+
+def main() -> None:
+    dataset = make_dataset("orku", seed=9)
+    theta = 0.3
+
+    stats = dataset_statistics(dataset)
+    print("— dataset —")
+    print(f"  n={stats.n}  k={stats.k}  distinct items={stats.domain_size}")
+    print(f"  fitted Zipf skew: {stats.zipf_skew:.2f}")
+    print(f"  most frequent item appears in {stats.max_item_frequency} rankings")
+
+    print(f"\n— prefix index at theta = {theta} —")
+    posting = posting_list_statistics(dataset, theta)
+    print(f"  prefix size: {posting.prefix_size} of k={dataset.k}")
+    print(f"  posting lists: {posting.num_lists}, mean length "
+          f"{posting.mean_length:.1f}, max {posting.max_length}")
+    print(f"  Equation 4 estimate: {estimate_posting_lists(dataset, theta):.1f}")
+    delta = suggest_partition_threshold(dataset, theta)
+    print(f"  suggested delta: {delta} "
+          f"({posting.oversized(delta)} lists would be split)")
+
+    print("\n— clustering phase preview —")
+    for theta_c in (0.01, 0.03, 0.05):
+        preview = cluster_statistics(dataset, theta_c)
+        print(
+            f"  theta_c={theta_c}: {preview.num_clusters} clusters, "
+            f"{preview.num_singletons} singletons, joining-phase input "
+            f"reduced by {preview.reduction:.0%}"
+        )
+
+    print("\n— CL vs CL-P with the chosen parameters —")
+    for name, kwargs in (
+        ("CL  ", {}),
+        ("CL-P", {"partition_threshold": delta}),
+    ):
+        ctx = Context(default_parallelism=64)
+        result = cl_join(ctx, dataset, theta, theta_c=0.03, **kwargs)
+        sim4 = ctx.simulated_seconds(ClusterConfig.for_nodes(4))
+        sim8 = ctx.simulated_seconds(ClusterConfig.for_nodes(8))
+        print(
+            f"  {name}: {len(result)} pairs, wall {result.total_seconds:.2f}s, "
+            f"simulated 4-node {sim4:.3f}s / 8-node {sim8:.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

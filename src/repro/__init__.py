@@ -1,0 +1,63 @@
+"""repro — Distributed Similarity Joins over Top-K Rankings (EDBT 2020).
+
+A from-scratch reproduction of Milchevski & Michel's system: top-k ranking
+similarity joins under Spearman's Footrule, with the VJ, VJ-NL, CL, and
+CL-P algorithms running on a built-in Spark-like dataflow engine.
+
+Quickstart::
+
+    from repro import Context, make_dataset, similarity_join
+
+    dataset = make_dataset("dblp")
+    result = similarity_join(dataset, theta=0.2, algorithm="cl",
+                             ctx=Context(default_parallelism=8))
+    for rid_a, rid_b, distance in result.pairs[:5]:
+        print(rid_a, rid_b, distance)
+"""
+
+from .joins import (
+    ALGORITHMS,
+    JoinResult,
+    JoinStats,
+    PrefixFilterJoin,
+    bruteforce_join,
+    cl_join,
+    clp_join,
+    jaccard_join,
+    similarity_join,
+    vj_join,
+    vj_nl_join,
+)
+from .minispark import ClusterConfig, ClusterModel, Context, CostModel
+from .rankings import (
+    Ranking,
+    RankingDataset,
+    footrule,
+    footrule_normalized,
+    make_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ClusterConfig",
+    "ClusterModel",
+    "Context",
+    "CostModel",
+    "JoinResult",
+    "JoinStats",
+    "PrefixFilterJoin",
+    "Ranking",
+    "RankingDataset",
+    "bruteforce_join",
+    "cl_join",
+    "clp_join",
+    "footrule",
+    "footrule_normalized",
+    "jaccard_join",
+    "make_dataset",
+    "similarity_join",
+    "vj_join",
+    "vj_nl_join",
+]

@@ -1,0 +1,31 @@
+"""Estimation formulas and descriptive statistics (Section 6 tuning aids)."""
+
+from .estimation import (
+    estimate_posting_lists,
+    expected_posting_list_length,
+    fit_zipf_skew,
+    prefix_vocabulary_size,
+    suggest_partition_threshold,
+)
+from .stats import (
+    ClusterStatistics,
+    DatasetStatistics,
+    PostingListStatistics,
+    cluster_statistics,
+    dataset_statistics,
+    posting_list_statistics,
+)
+
+__all__ = [
+    "ClusterStatistics",
+    "DatasetStatistics",
+    "PostingListStatistics",
+    "cluster_statistics",
+    "dataset_statistics",
+    "estimate_posting_lists",
+    "expected_posting_list_length",
+    "fit_zipf_skew",
+    "posting_list_statistics",
+    "prefix_vocabulary_size",
+    "suggest_partition_threshold",
+]

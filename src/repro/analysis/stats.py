@@ -1,0 +1,125 @@
+"""Descriptive statistics of datasets, prefixes, and clusterings.
+
+These are the numbers one inspects when calibrating an experiment: how
+skewed the items are, how long posting lists get at a threshold, and how
+much of the dataset the clustering phase manages to collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rankings.bounds import overlap_prefix_size, raw_threshold
+from ..rankings.dataset import RankingDataset
+from ..rankings.ordering import item_frequencies, order_dataset
+from .estimation import fit_zipf_skew
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary of one dataset."""
+
+    n: int
+    k: int
+    domain_size: int
+    zipf_skew: float
+    max_item_frequency: int
+    mean_item_frequency: float
+
+
+def dataset_statistics(dataset: RankingDataset) -> DatasetStatistics:
+    frequencies = item_frequencies(dataset.rankings)
+    counts = np.array(list(frequencies.values()), dtype=np.float64)
+    return DatasetStatistics(
+        n=len(dataset),
+        k=dataset.k,
+        domain_size=len(frequencies),
+        zipf_skew=fit_zipf_skew(frequencies),
+        max_item_frequency=int(counts.max()),
+        mean_item_frequency=float(counts.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class PostingListStatistics:
+    """Posting-list shape of the prefix index at one threshold.
+
+    ``oversized(delta)`` — how many lists Section 6 would split — is the
+    quantity the partitioning threshold is tuned against.
+    """
+
+    theta: float
+    prefix_size: int
+    num_lists: int
+    total_entries: int
+    max_length: int
+    mean_length: float
+    lengths: tuple
+
+    def oversized(self, delta: int) -> int:
+        return sum(1 for length in self.lengths if length > delta)
+
+
+def posting_list_statistics(
+    dataset: RankingDataset, theta: float
+) -> PostingListStatistics:
+    """Build the prefix inverted index and summarize its posting lists."""
+    p = overlap_prefix_size(raw_threshold(theta, dataset.k), dataset.k)
+    lengths: dict = {}
+    for ordered in order_dataset(dataset.rankings):
+        for item, _rank in ordered.prefix(p):
+            lengths[item] = lengths.get(item, 0) + 1
+    values = tuple(sorted(lengths.values(), reverse=True))
+    total = sum(values)
+    return PostingListStatistics(
+        theta=theta,
+        prefix_size=p,
+        num_lists=len(values),
+        total_entries=total,
+        max_length=values[0] if values else 0,
+        mean_length=total / len(values) if values else 0.0,
+        lengths=values,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterStatistics:
+    """Outcome of a clustering phase at one theta_c."""
+
+    theta_c: float
+    num_clusters: int
+    num_singletons: int
+    num_members: int
+    largest_cluster: int
+    reduction: float
+    """Fraction of rankings removed from the joining phase's input."""
+
+
+def cluster_statistics(
+    dataset: RankingDataset, theta_c: float
+) -> ClusterStatistics:
+    """Cluster the dataset as CL's phase 2 would and report the shape."""
+    from ..joins.local import PrefixFilterJoin
+
+    result = PrefixFilterJoin(theta_c).join(dataset)
+    members_by_centroid: dict = {}
+    in_any_pair: set = set()
+    for i, j, _d in result.pairs:
+        members_by_centroid.setdefault(i, set()).add(j)
+        in_any_pair.update((i, j))
+    # A ranking that only ever appears as a member is not a centroid.
+    centroids = set(members_by_centroid)
+    num_singletons = len(dataset) - len(in_any_pair)
+    num_members = sum(len(m) for m in members_by_centroid.values())
+    largest = max((len(m) for m in members_by_centroid.values()), default=0)
+    joining_input = len(centroids) + num_singletons
+    return ClusterStatistics(
+        theta_c=theta_c,
+        num_clusters=len(centroids),
+        num_singletons=num_singletons,
+        num_members=num_members,
+        largest_cluster=largest,
+        reduction=1.0 - joining_input / len(dataset),
+    )

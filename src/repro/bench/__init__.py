@@ -1,0 +1,40 @@
+"""Benchmark harness: workloads, experiment runner, paper-style reporting."""
+
+from .harness import (
+    DEFAULT_CLUSTERS,
+    PAPER_ALGORITHMS,
+    RunConfig,
+    RunRecord,
+    Series,
+    default_delta,
+    run,
+    run_series,
+)
+from .reporting import (
+    format_cell,
+    format_markdown_table,
+    format_series_table,
+    growth_factor,
+    speedup,
+)
+from .workloads import WORKLOADS, Workload, bench_scale, load_workload
+
+__all__ = [
+    "DEFAULT_CLUSTERS",
+    "PAPER_ALGORITHMS",
+    "RunConfig",
+    "RunRecord",
+    "Series",
+    "WORKLOADS",
+    "Workload",
+    "bench_scale",
+    "default_delta",
+    "format_cell",
+    "format_markdown_table",
+    "format_series_table",
+    "growth_factor",
+    "load_workload",
+    "run",
+    "run_series",
+    "speedup",
+]

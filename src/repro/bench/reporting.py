@@ -1,0 +1,77 @@
+"""Paper-style text tables for the benchmark harness.
+
+Every figure benchmark prints the series it measured in the shape the
+paper plots them — x-axis values across the top, one row per algorithm —
+so a run's stdout is directly comparable against the paper's charts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_cell(value) -> str:
+    """Seconds to a compact cell; ``None`` renders as the paper's DNF."""
+    if value is None:
+        return "DNF"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping,
+    unit: str = "s",
+) -> str:
+    """Render ``{row_label: [values...]}`` as an aligned text table."""
+    header = [f"{x_label}"] + [str(x) for x in xs]
+    rows = [header]
+    for label, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for {len(xs)} xs"
+            )
+        rows.append([label] + [format_cell(v) for v in values])
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(len(header))
+    ]
+    lines = [f"== {title} (in {unit}) =="]
+    for index, row in enumerate(rows):
+        cells = [cell.rjust(width) for cell, width in zip(row, widths)]
+        lines.append("  ".join(cells))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def speedup(baseline, candidate) -> float | None:
+    """How many times faster ``candidate`` is than ``baseline``."""
+    if baseline is None or candidate is None or candidate == 0:
+        return None
+    return baseline / candidate
+
+
+def growth_factor(values: Sequence) -> float | None:
+    """Last over first value of a series — the paper's theta-growth metric."""
+    usable = [v for v in values if v is not None]
+    if len(usable) < 2 or usable[0] == 0:
+        return None
+    return usable[-1] / usable[0]
+
+
+def format_markdown_table(
+    x_label: str, xs: Sequence, series: Mapping
+) -> str:
+    """The same table as GitHub-flavoured markdown (for EXPERIMENTS.md)."""
+    header = "| " + " | ".join([x_label] + [str(x) for x in xs]) + " |"
+    divider = "|" + "---|" * (len(xs) + 1)
+    lines = [header, divider]
+    for label, values in series.items():
+        cells = [label] + [format_cell(v) for v in values]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""The paper's evaluation workloads, scaled to laptop size.
+
+Section 7 evaluates on DBLP (1.2M top-10 rankings) and ORKU (2M top-10
+rankings, plus a 1.5M top-25 cut), increased x5/x10 with the domain kept
+fixed.  The bench harness uses the synthetic stand-ins from
+:mod:`repro.rankings.generator` with the same naming: ``dblp``, ``dblpx5``,
+``dblpx10``, ``orku``, ``orkux5``, ``orku25``.
+
+Datasets are built once per process and cached — the generator is seeded,
+so every benchmark in a run sees the identical dataset.
+
+The global size knob ``REPRO_BENCH_SCALE`` (a float, default 1.0)
+multiplies the base dataset sizes; use e.g. ``REPRO_BENCH_SCALE=0.3`` for
+a quick smoke pass of the whole harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..rankings.dataset import RankingDataset
+from ..rankings.generator import make_dataset
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named dataset configuration of the evaluation."""
+
+    name: str
+    profile: str
+    scale: int
+
+    @property
+    def label(self) -> str:
+        return self.name.upper().replace("X", "x")
+
+
+WORKLOADS: dict = {
+    "dblp": Workload("dblp", "dblp", 1),
+    "dblpx5": Workload("dblpx5", "dblp", 5),
+    "dblpx10": Workload("dblpx10", "dblp", 10),
+    "orku": Workload("orku", "orku", 1),
+    "orkux5": Workload("orkux5", "orku", 5),
+    "orku25": Workload("orku25", "orku25", 1),
+}
+
+
+def bench_scale() -> float:
+    """The ``REPRO_BENCH_SCALE`` knob (validated)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {value}")
+    return value
+
+
+@lru_cache(maxsize=None)
+def _dataset_cached(
+    profile: str, scale: int, size_factor: float, seed: int
+) -> RankingDataset:
+    return make_dataset(profile, scale=scale, seed=seed, size_factor=size_factor)
+
+
+def load_workload(name: str, seed: int = 0) -> RankingDataset:
+    """Build (or fetch from cache) a named workload's dataset."""
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        )
+    workload = WORKLOADS[name]
+    return _dataset_cached(workload.profile, workload.scale, bench_scale(), seed)

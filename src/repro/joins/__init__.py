@@ -1,0 +1,51 @@
+"""Similarity-join algorithms over top-k rankings (the paper's core)."""
+
+from .api import ALGORITHMS, similarity_join
+from .bruteforce import bruteforce_join
+from .clustered import cl_join, clp_join
+from .grouping import distinct_pairs, grouped_join
+from .jaccard import jaccard_bruteforce, jaccard_join, jaccard_join_local
+from .metric_partition import metric_partition_join
+from .local import (
+    PrefixFilterJoin,
+    join_group_indexed,
+    join_group_nested_loop,
+    join_groups_rs,
+    prefix_size_for,
+)
+from .types import JoinResult, JoinStats, canonical_pair
+from .verification import (
+    check_pair,
+    triangle_bounds,
+    verify,
+    violates_position_filter,
+)
+from .vj import vj_join, vj_nl_join
+
+__all__ = [
+    "ALGORITHMS",
+    "JoinResult",
+    "JoinStats",
+    "PrefixFilterJoin",
+    "bruteforce_join",
+    "canonical_pair",
+    "check_pair",
+    "cl_join",
+    "clp_join",
+    "distinct_pairs",
+    "grouped_join",
+    "jaccard_bruteforce",
+    "jaccard_join",
+    "jaccard_join_local",
+    "join_group_indexed",
+    "join_group_nested_loop",
+    "join_groups_rs",
+    "metric_partition_join",
+    "prefix_size_for",
+    "similarity_join",
+    "triangle_bounds",
+    "verify",
+    "violates_position_filter",
+    "vj_join",
+    "vj_nl_join",
+]

@@ -1,0 +1,102 @@
+"""Facade: one entry point over every similarity-join algorithm.
+
+    >>> from repro import similarity_join, make_dataset
+    >>> result = similarity_join(make_dataset("dblp"), theta=0.2,
+    ...                          algorithm="cl")
+    >>> len(result) > 0
+    True
+
+Algorithm names follow the paper's evaluation section:
+
+========== =====================================================
+name       meaning
+========== =====================================================
+bruteforce exact O(n^2) baseline (local, no engine)
+local      single-machine prefix-filter join (PPJoin+ role)
+vj         Vernica Join adaptation (Section 4)
+vj-nl      VJ with iterator nested loops (Section 4.1)
+cl         clustering algorithm (Section 5)
+cl-p       CL with repartitioning (Section 6); needs ``partition_threshold``
+jaccard    distributed Jaccard join (future-work extension)
+metric-partition  random-centroid metric baseline (the §5.1 strawman)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from ..minispark.context import Context
+from ..rankings.dataset import RankingDataset
+from .bruteforce import bruteforce_join
+from .clustered import cl_join
+from .jaccard import jaccard_join
+from .local import PrefixFilterJoin
+from .metric_partition import metric_partition_join
+from .types import JoinResult
+from .vj import vj_join
+
+ALGORITHMS = (
+    "bruteforce", "local", "vj", "vj-nl", "cl", "cl-p", "jaccard",
+    "metric-partition",
+)
+
+
+def similarity_join(
+    dataset: RankingDataset,
+    theta: float,
+    algorithm: str = "cl",
+    ctx: Context | None = None,
+    num_partitions: int | None = None,
+    **options,
+) -> JoinResult:
+    """Find all ranking pairs within normalized Footrule distance ``theta``.
+
+    Parameters
+    ----------
+    dataset:
+        Equal-length top-k rankings.
+    theta:
+        Normalized threshold in ``[0, 1]`` (the paper sweeps 0.1–0.4).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    ctx:
+        A mini-Spark :class:`~repro.minispark.context.Context`; a default
+        one is created for the distributed algorithms when omitted.
+    options:
+        Algorithm-specific keywords — ``theta_c`` and
+        ``partition_threshold`` for cl/cl-p, ``variant`` and
+        ``use_position_filter`` for the VJ family, etc.
+
+    Returns
+    -------
+    JoinResult
+        Exact result pairs plus filter statistics and phase timings.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if algorithm == "bruteforce":
+        return bruteforce_join(dataset, theta)
+    if algorithm == "local":
+        return PrefixFilterJoin(theta, **options).join(dataset)
+
+    ctx = ctx or Context()
+    if algorithm == "vj":
+        return vj_join(ctx, dataset, theta, num_partitions, **options)
+    if algorithm == "vj-nl":
+        return vj_join(
+            ctx, dataset, theta, num_partitions, variant="nl", **options
+        )
+    if algorithm == "cl":
+        return cl_join(ctx, dataset, theta, num_partitions=num_partitions,
+                       **options)
+    if algorithm == "cl-p":
+        if "partition_threshold" not in options:
+            raise ValueError("cl-p requires a partition_threshold (delta)")
+        return cl_join(ctx, dataset, theta, num_partitions=num_partitions,
+                       **options)
+    if algorithm == "metric-partition":
+        return metric_partition_join(
+            ctx, dataset, theta, num_partitions=num_partitions, **options
+        )
+    return jaccard_join(ctx, dataset, theta, num_partitions, **options)

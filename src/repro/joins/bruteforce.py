@@ -1,0 +1,41 @@
+"""Exact nested-loop baseline: the ground truth every algorithm is tested against."""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..rankings.bounds import raw_threshold
+from ..rankings.dataset import RankingDataset
+from .types import JoinResult, JoinStats
+from .verification import verify
+
+
+def bruteforce_join(dataset: RankingDataset, theta: float) -> JoinResult:
+    """All-pairs O(n^2) join with early-exit verification, no filters.
+
+    ``theta`` is the normalized threshold.  Every algorithm in this package
+    must produce exactly this pair set (the property the integration tests
+    assert); keep this function free of any shared filtering code so a bug
+    cannot hide in both places.
+    """
+    start = perf_counter()
+    theta_raw = raw_threshold(theta, dataset.k)
+    stats = JoinStats()
+    rankings = sorted(dataset.rankings, key=lambda r: r.rid)
+    pairs = []
+    for a_index, tau in enumerate(rankings):
+        for sigma in rankings[a_index + 1 :]:
+            stats.candidates += 1
+            stats.verified += 1
+            distance = verify(tau, sigma, theta_raw)
+            if distance is not None:
+                pairs.append((tau.rid, sigma.rid, distance))
+    stats.results = len(pairs)
+    return JoinResult(
+        pairs=pairs,
+        theta=theta,
+        k=dataset.k,
+        stats=stats,
+        phase_seconds={"join": perf_counter() - start},
+        algorithm="bruteforce",
+    )

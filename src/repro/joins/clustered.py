@@ -1,0 +1,491 @@
+"""The CL algorithm (Section 5) and its CL-P variant (Section 6).
+
+Four phases, each a chain of mini-Spark jobs with intermediate RDDs cached
+in memory — the iterative style the paper argues Spark rewards:
+
+1. **Ordering** — one global frequency count + broadcast; rankings are
+   re-sorted once and reused by both join phases.
+2. **Clustering** — a similarity self-join at the small clustering
+   threshold ``theta_c`` (VJ/VJ-NL kernel).  From each result pair the
+   smaller id becomes the cluster centroid, the larger a member.  Rankings
+   in no pair are *singletons*.  Because Footrule is a metric, members of
+   one cluster are at distance ``<= 2 * theta_c`` from each other and are
+   emitted as results without verification whenever ``2 * theta_c <=
+   theta`` (otherwise they are verified).
+3. **Joining** (Lemma 5.1 / 5.3, Algorithm 1) — only centroids are joined.
+   Non-singleton centroids use threshold ``theta + 2 * theta_c`` (and the
+   matching longer prefix); pairs involving singletons need only
+   ``theta + theta_c``, singleton/singleton pairs only ``theta``.  The
+   kernel tracks each centroid's type and applies the pair's threshold.
+4. **Expansion** (Algorithm 2) — singleton/singleton results are final;
+   pairs within ``theta`` are results themselves; every pair with a
+   non-singleton side is joined back with the clusters to generate
+   member-centroid and member-member candidates, pruned with the triangle
+   inequality (``|d(ci,cj) - d(m,ci)| > theta`` is impossible for a
+   result) and — optionally — accepted without verification when the
+   triangle upper bound already proves the pair
+   (``d(ci,cj) + d(m,ci) <= theta``).
+
+``partition_threshold`` (the paper's delta) activates Section 6's
+repartitioning of oversized posting lists inside the joining phase, which
+is exactly the CL-P configuration; :func:`clp_join` is the named alias.
+
+A note on ``singleton_prefix``: Algorithm 1 as printed indexes singleton
+centroids with the prefix for ``theta`` alone.  The classic prefix-filter
+argument, however, needs *both* sides of a pair sized for the pair's
+threshold, which for centroid/singleton pairs is ``theta + theta_c`` —
+with the printed prefix an adversarial canonical order can hide all
+common items of such a pair from the singleton's prefix.  The default
+``"safe"`` mode therefore sizes singleton prefixes for
+``theta + theta_c`` (still far shorter than the non-singleton prefix);
+``"paper"`` reproduces the printed algorithm, which is marginally cheaper
+and correct on all non-adversarial data we generated.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..minispark.context import Context
+from ..rankings.bounds import (
+    admits_disjoint_pairs,
+    overlap_prefix_size,
+    position_filter_bound,
+    raw_threshold,
+)
+from ..rankings.dataset import RankingDataset
+from .grouping import distinct_pairs, grouped_join
+from .types import JoinResult, JoinStats, canonical_pair
+from .verification import verify, violates_position_filter
+from .vj import order_rankings_rdd
+
+
+def cl_join(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    theta_c: float = 0.03,
+    num_partitions: int | None = None,
+    variant: str = "nl",
+    partition_threshold: int | None = None,
+    use_position_filter: bool = True,
+    singleton_prefix: str = "safe",
+    triangle_accept: bool = True,
+    seed: int = 0,
+) -> JoinResult:
+    """Run the clustering-based similarity join (CL; CL-P with delta).
+
+    ``theta`` and ``theta_c`` are normalized; ``theta_c <= theta`` is
+    required (the paper recommends ``theta_c < 0.05`` and uses 0.03).
+    """
+    if not 0.0 <= theta_c <= theta:
+        raise ValueError(
+            f"need 0 <= theta_c <= theta, got theta_c={theta_c}, theta={theta}"
+        )
+    if singleton_prefix not in ("safe", "paper"):
+        raise ValueError(f"unknown singleton_prefix {singleton_prefix!r}")
+    if variant not in ("index", "nl"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    num_partitions = num_partitions or ctx.default_parallelism
+    k = dataset.k
+    theta_raw = raw_threshold(theta, k)
+    theta_c_raw = raw_threshold(theta_c, k)
+    theta_o_raw = theta_raw + 2 * theta_c_raw
+    if admits_disjoint_pairs(theta_o_raw, k):
+        # The joining phase runs at theta + 2*theta_c; once that admits
+        # item-disjoint centroid pairs the prefix framework cannot retrieve
+        # them, so fall back to the exhaustive join (degenerate thresholds
+        # only — normalized theta + 2*theta_c >= 1).
+        from .bruteforce import bruteforce_join
+
+        return bruteforce_join(dataset, theta)
+    stats = JoinStats()
+    phase_seconds: dict = {}
+
+    # ------------------------------------------------------ Phase 1: order
+    start = perf_counter()
+    rdd = ctx.parallelize(dataset.rankings, num_partitions)
+    ordered = order_rankings_rdd(ctx, rdd).cache()
+    by_id = ordered.key_by(lambda o: o.rid).cache()
+    by_id.count()
+    phase_seconds["ordering"] = perf_counter() - start
+
+    # -------------------------------------------------- Phase 2: cluster
+    start = perf_counter()
+    cluster_pairs = _cluster_pairs(
+        ctx, ordered, theta_c_raw, k, num_partitions, variant,
+        use_position_filter, stats,
+    ).cache()
+    clusters = _build_clusters(cluster_pairs, by_id, num_partitions).cache()
+    singletons = _find_singletons(
+        cluster_pairs, by_id, num_partitions
+    ).cache()
+    stats.clusters = clusters.count()
+    stats.singletons = singletons.count()
+    stats.cluster_members = cluster_pairs.count()
+    member_member = clusters.flat_map(
+        lambda kv: _same_cluster_pairs(
+            kv[1][1], theta_raw, theta_c_raw, stats
+        )
+    )
+    phase_seconds["clustering"] = perf_counter() - start
+
+    # ----------------------------------------------------- Phase 3: join
+    start = perf_counter()
+    p_m = overlap_prefix_size(theta_o_raw, k)
+    if singleton_prefix == "safe":
+        p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+    else:
+        p_s = overlap_prefix_size(theta_raw, k)
+
+    centroids = clusters.map(lambda kv: (kv[1][0], False)).union(
+        singletons.map(lambda kv: (kv[1], True))
+    )
+
+    def emit_tokens(tagged):
+        centroid, is_singleton = tagged
+        prefix = p_s if is_singleton else p_m
+        return (
+            (item, (centroid, is_singleton))
+            for item, _rank in centroid.prefix(prefix)
+        )
+
+    joined = grouped_join(
+        ctx,
+        centroids.flat_map(emit_tokens),
+        num_partitions,
+        _typed_kernel(
+            variant, p_m, p_s, theta_raw, theta_c_raw, stats,
+            use_position_filter,
+        ),
+        rs_kernel=_typed_rs_kernel(
+            theta_raw, theta_c_raw, stats, use_position_filter
+        ),
+        partition_threshold=partition_threshold,
+        stats=stats,
+        seed=seed,
+    )
+    r_join = distinct_pairs(joined, num_partitions).cache()
+    r_join.count()
+    phase_seconds["joining"] = perf_counter() - start
+
+    # ------------------------------------------------- Phase 4: expansion
+    start = perf_counter()
+    r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][3]).map(
+        lambda kv: (kv[0], kv[1][0])
+    )
+    r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][3])).cache()
+    r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+        lambda kv: (kv[0], kv[1][0])
+    )
+
+    def direct_sides(kv):
+        (rid_i, rid_j), (d, singleton_i, other_i, singleton_j, other_j) = kv
+        if not singleton_i:
+            yield (rid_i, (other_j, d))
+        if not singleton_j:
+            yield (rid_j, (other_i, d))
+
+    r_m_directed = r_m.flat_map(direct_sides)
+    member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
+        lambda kv: _expand_member_centroid(
+            kv[1][0][1], kv[1][1], theta_raw, stats, triangle_accept
+        )
+    )
+
+    both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][3])
+    first_hop = (
+        both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+        .join(clusters, num_partitions)
+        .flat_map(
+            lambda kv: (
+                (kv[1][0][0], (member, dist, kv[1][0][1]))
+                for member, dist in kv[1][1][1]
+            )
+        )
+    )
+    member_member_across = first_hop.join(clusters, num_partitions).flat_map(
+        lambda kv: _expand_member_member(
+            kv[1][0], kv[1][1][1], theta_raw, stats, triangle_accept
+        )
+    )
+
+    everything = (
+        cluster_pairs.union(member_member)
+        .union(r_ss)
+        .union(r_m_direct)
+        .union(member_centroid)
+        .union(member_member_across)
+    )
+    final = distinct_pairs(everything, num_partitions).collect()
+    phase_seconds["expansion"] = perf_counter() - start
+
+    results = [(i, j, d) for (i, j), d in final]
+    stats.results = len(results)
+    name = "cl-p" if partition_threshold is not None else "cl"
+    return JoinResult(
+        pairs=results,
+        theta=theta,
+        k=k,
+        stats=stats,
+        phase_seconds=phase_seconds,
+        algorithm=name,
+    )
+
+
+def clp_join(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    partition_threshold: int,
+    theta_c: float = 0.03,
+    **kwargs,
+) -> JoinResult:
+    """CL with repartitioning of large posting lists (the paper's CL-P)."""
+    return cl_join(
+        ctx,
+        dataset,
+        theta,
+        theta_c=theta_c,
+        partition_threshold=partition_threshold,
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------- clustering
+
+
+def _cluster_pairs(
+    ctx, ordered, theta_c_raw, k, num_partitions, variant,
+    use_position_filter, stats,
+):
+    """Self-join at the clustering threshold: pairs (i, j), i < j, d <= theta_c."""
+    from .vj import make_kernels
+
+    p_c = overlap_prefix_size(theta_c_raw, k)
+    tokens = ordered.flat_map(
+        lambda o: ((item, o) for item, _rank in o.prefix(p_c))
+    )
+    kernel, rs_kernel = make_kernels(
+        variant, p_c, theta_c_raw, stats, use_position_filter
+    )
+    pairs = grouped_join(ctx, tokens, num_partitions, kernel, rs_kernel)
+    return distinct_pairs(pairs, num_partitions)
+
+
+def _build_clusters(cluster_pairs, by_id, num_partitions):
+    """(centroid_id, (centroid, [(member, distance), ...])) from result pairs.
+
+    The smaller id of each pair is the centroid (Figure 3); member ranking
+    objects are fetched by joining on the id-keyed ordered dataset.
+    """
+    member_entries = (
+        cluster_pairs.map(lambda kv: (kv[0][1], (kv[0][0], kv[1])))
+        .join(by_id, num_partitions)
+        .map(lambda kv: (kv[1][0][0], (kv[1][1], kv[1][0][1])))
+    )
+    grouped = member_entries.group_by_key(num_partitions)
+    return grouped.join(by_id, num_partitions).map(
+        lambda kv: (kv[0], (kv[1][1], kv[1][0]))
+    )
+
+
+def _find_singletons(cluster_pairs, by_id, num_partitions):
+    """Rankings in no cluster pair: (rid, ordered_ranking)."""
+    in_pairs = (
+        cluster_pairs.flat_map(lambda kv: (kv[0][0], kv[0][1]))
+        .distinct(num_partitions)
+        .map(lambda rid: (rid, None))
+    )
+    return by_id.subtract_by_key(in_pairs, num_partitions)
+
+
+def _same_cluster_pairs(members, theta_raw, theta_c_raw, stats):
+    """Member-member pairs of one cluster.
+
+    The triangle inequality bounds their distance by ``2 * theta_c``; when
+    that is within ``theta`` they are results without verification.
+    """
+    members = sorted(members, key=lambda md: md[0].rid)
+    certain = 2 * theta_c_raw <= theta_raw
+    for a_index, (first, _d1) in enumerate(members):
+        for second, _d2 in members[a_index + 1 :]:
+            pair = canonical_pair(first.rid, second.rid)
+            if certain:
+                stats.triangle_accepted += 1
+                yield (pair, None)
+            else:
+                stats.candidates += 1
+                stats.verified += 1
+                distance = verify(first.ranking, second.ranking, theta_raw)
+                if distance is not None:
+                    yield (pair, distance)
+
+
+# ------------------------------------------------------------------ joining
+
+
+def _pair_threshold(singleton_a, singleton_b, theta_raw, theta_c_raw):
+    """Lemma 5.3: the retrieval threshold for a centroid pair by type."""
+    if singleton_a and singleton_b:
+        return theta_raw
+    if singleton_a or singleton_b:
+        return theta_raw + theta_c_raw
+    return theta_raw + 2 * theta_c_raw
+
+
+def _typed_value(left, singleton_left, right, singleton_right, distance):
+    """Normalized join record: ids ascending, payload carries both objects."""
+    if left.rid < right.rid:
+        return (
+            (left.rid, right.rid),
+            (distance, singleton_left, left, singleton_right, right),
+        )
+    return (
+        (right.rid, left.rid),
+        (distance, singleton_right, right, singleton_left, left),
+    )
+
+
+def _typed_kernel(
+    variant, p_m, p_s, theta_raw, theta_c_raw, stats, use_position_filter
+):
+    """Per-group kernel of Algorithm 1: type-aware thresholds and prefixes."""
+
+    def nested_loop(item, members):
+        members = sorted(members, key=lambda tagged: tagged[0].rid)
+        for a_index, (left, singleton_left) in enumerate(members):
+            left_rank = left.ranking.rank_of(item)
+            for right, singleton_right in members[a_index + 1 :]:
+                threshold = _pair_threshold(
+                    singleton_left, singleton_right, theta_raw, theta_c_raw
+                )
+                stats.candidates += 1
+                if use_position_filter and (
+                    abs(left_rank - right.ranking.rank_of(item))
+                    > position_filter_bound(threshold)
+                ):
+                    stats.position_filtered += 1
+                    continue
+                stats.verified += 1
+                distance = verify(left.ranking, right.ranking, threshold)
+                if distance is not None:
+                    yield _typed_value(
+                        left, singleton_left, right, singleton_right, distance
+                    )
+
+    def indexed(_item, members):
+        members = sorted(members, key=lambda tagged: tagged[0].rid)
+        index: dict = {}
+        for probe, singleton_probe in members:
+            probe_prefix = probe.prefix(p_s if singleton_probe else p_m)
+            seen: set = set()
+            for token, _rank in probe_prefix:
+                bucket = index.get(token)
+                if not bucket:
+                    continue
+                for other, singleton_other in bucket:
+                    if other.rid in seen:
+                        continue
+                    seen.add(other.rid)
+                    threshold = _pair_threshold(
+                        singleton_probe, singleton_other, theta_raw, theta_c_raw
+                    )
+                    stats.candidates += 1
+                    if use_position_filter and violates_position_filter(
+                        probe.ranking, other.ranking, threshold
+                    ):
+                        stats.position_filtered += 1
+                        continue
+                    stats.verified += 1
+                    distance = verify(probe.ranking, other.ranking, threshold)
+                    if distance is not None:
+                        yield _typed_value(
+                            probe, singleton_probe, other, singleton_other,
+                            distance,
+                        )
+            for token, _rank in probe_prefix:
+                index.setdefault(token, []).append((probe, singleton_probe))
+
+    return nested_loop if variant == "nl" else indexed
+
+
+def _typed_rs_kernel(theta_raw, theta_c_raw, stats, use_position_filter):
+    """R-S kernel of Algorithm 1 for repartitioned posting lists (CL-P)."""
+
+    def rs(item, left_members, right_members):
+        for left, singleton_left in left_members:
+            left_rank = left.ranking.rank_of(item)
+            for right, singleton_right in right_members:
+                if left.rid == right.rid:
+                    continue
+                threshold = _pair_threshold(
+                    singleton_left, singleton_right, theta_raw, theta_c_raw
+                )
+                stats.candidates += 1
+                if use_position_filter and (
+                    abs(left_rank - right.ranking.rank_of(item))
+                    > position_filter_bound(threshold)
+                ):
+                    stats.position_filtered += 1
+                    continue
+                stats.verified += 1
+                distance = verify(left.ranking, right.ranking, threshold)
+                if distance is not None:
+                    yield _typed_value(
+                        left, singleton_left, right, singleton_right, distance
+                    )
+
+    return rs
+
+
+# ---------------------------------------------------------------- expansion
+
+
+def _expand_member_centroid(members, other_with_distance, theta_raw, stats,
+                            triangle_accept):
+    """R_{m,c}: members of one cluster against the other pair side."""
+    other, centroid_distance = other_with_distance
+    for member, member_distance in members:
+        if member.rid == other.rid:
+            continue
+        stats.candidates += 1
+        lower = abs(centroid_distance - member_distance)
+        if lower > theta_raw:
+            stats.triangle_filtered += 1
+            continue
+        pair = canonical_pair(member.rid, other.rid)
+        if triangle_accept and centroid_distance + member_distance <= theta_raw:
+            stats.triangle_accepted += 1
+            yield (pair, None)
+            continue
+        stats.verified += 1
+        distance = verify(member.ranking, other.ranking, theta_raw)
+        if distance is not None:
+            yield (pair, distance)
+
+
+def _expand_member_member(hop, members, theta_raw, stats, triangle_accept):
+    """R_{m,m}: members of the first cluster against members of the second."""
+    member_i, distance_i, centroid_distance = hop
+    for member_j, distance_j in members:
+        if member_i.rid == member_j.rid:
+            continue
+        stats.candidates += 1
+        lower = centroid_distance - distance_i - distance_j
+        if lower > theta_raw:
+            stats.triangle_filtered += 1
+            continue
+        pair = canonical_pair(member_i.rid, member_j.rid)
+        if (
+            triangle_accept
+            and centroid_distance + distance_i + distance_j <= theta_raw
+        ):
+            stats.triangle_accepted += 1
+            yield (pair, None)
+            continue
+        stats.verified += 1
+        distance = verify(member_i.ranking, member_j.ranking, theta_raw)
+        if distance is not None:
+            yield (pair, distance)

@@ -1,0 +1,132 @@
+"""Per-item grouping and the repartitioning of oversized groups (Section 6).
+
+All four distributed algorithms follow the same skeleton after prefix
+tokens are emitted: bring every ranking that shares an item to one place
+(``group_by_key``), then run a join *kernel* inside each group.  This
+module owns that skeleton, including Algorithm 3:
+
+* groups no larger than the partitioning threshold ``delta`` are joined
+  directly;
+* larger groups are split into sub-partitions of at most ``delta`` members
+  under composite keys ``(item, random subkey)``, redistributed, joined
+  within each sub-partition, and then every *pair* of sub-partitions of
+  the same item is joined with an R-S kernel (guarded by
+  ``subkey_left < subkey_right`` so no pair of sub-partitions is processed
+  twice — the paper's secondary-key ordering trick).
+
+Kernels receive ``(key_item, members)`` (or two member lists for the R-S
+case) and yield ``(pair_key, value)`` records; global deduplication is the
+caller's job.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..minispark.context import Context
+from ..minispark.partitioner import HashPartitioner
+from ..minispark.rdd import RDD
+from .types import JoinStats
+
+
+def grouped_join(
+    ctx: Context,
+    tokens: RDD,
+    num_partitions: int,
+    kernel: Callable,
+    rs_kernel: Callable | None = None,
+    partition_threshold: int | None = None,
+    split_partition_factor: int = 2,
+    stats: JoinStats | None = None,
+    seed: int = 0,
+) -> RDD:
+    """Group prefix tokens by item and join inside each group.
+
+    Parameters
+    ----------
+    tokens:
+        RDD of ``(item, member)`` pairs — one per prefix token.
+    kernel:
+        ``kernel(item, members) -> iterator of (pair_key, value)``.
+    rs_kernel:
+        ``rs_kernel(item, left_members, right_members) -> iterator``; only
+        needed when ``partition_threshold`` is set.
+    partition_threshold:
+        The paper's delta.  ``None`` disables repartitioning.
+    split_partition_factor:
+        How much to increase the partition count for the redistributed
+        sub-partitions ("... and increase the number of partitions").
+    """
+    grouped = tokens.group_by_key(num_partitions)
+    if partition_threshold is None:
+        return grouped.flat_map(lambda kv: kernel(kv[0], kv[1]))
+
+    if partition_threshold <= 1:
+        raise ValueError(
+            f"partition_threshold must be > 1, got {partition_threshold}"
+        )
+    if rs_kernel is None:
+        raise ValueError("repartitioning requires an rs_kernel")
+    stats = stats if stats is not None else JoinStats()
+    delta = partition_threshold
+
+    grouped = grouped.cache()
+    small = grouped.filter(lambda kv: len(kv[1]) <= delta)
+    large = grouped.filter(lambda kv: len(kv[1]) > delta)
+
+    results_small = small.flat_map(lambda kv: kernel(kv[0], kv[1]))
+
+    def split_group(kv):
+        """One oversized posting list -> sub-partitions of <= delta members."""
+        item, members = kv
+        stats.repartitioned_groups += 1
+        rng = random.Random(f"{seed}:{item}")
+        members = list(members)
+        rng.shuffle(members)
+        num_chunks = -(-len(members) // delta)  # ceil division
+        subkeys = rng.sample(range(1_000_000_000), num_chunks)
+        for chunk_index in range(num_chunks):
+            chunk = members[chunk_index * delta : (chunk_index + 1) * delta]
+            yield ((item, subkeys[chunk_index]), chunk)
+
+    sub_partitions = (
+        large.flat_map(split_group)
+        .partition_by(HashPartitioner(num_partitions * split_partition_factor))
+        .cache()
+    )
+
+    results_within = sub_partitions.flat_map(
+        lambda kv: kernel(kv[0][0], kv[1])
+    )
+
+    by_item = sub_partitions.map(
+        lambda kv: (kv[0][0], (kv[0][1], kv[1]))
+    )
+
+    def cross_join(kv):
+        item, ((subkey_left, left), (subkey_right, right)) = kv
+        if subkey_left >= subkey_right:
+            return iter(())
+        return rs_kernel(item, left, right)
+
+    results_across = by_item.join(
+        by_item, num_partitions * split_partition_factor
+    ).flat_map(cross_join)
+
+    return results_small.union(results_within).union(results_across)
+
+
+def distinct_pairs(pairs: RDD, num_partitions: int) -> RDD:
+    """Deduplicate ``(pair_key, value)`` records, preferring concrete values.
+
+    The same pair can be produced under several shared items (and, in the
+    CL expansion, by several clusters) — possibly once with a computed
+    distance and once as an unverified ``None`` accept.  Keep one record
+    per pair, favouring a non-``None`` value.
+    """
+
+    def prefer_known(a, b):
+        return a if a is not None else b
+
+    return pairs.reduce_by_key(prefer_known, num_partitions)

@@ -1,0 +1,237 @@
+"""In-memory prefix-filter join and the per-group join kernels.
+
+``PrefixFilterJoin`` is the single-machine algorithm (the PPJoin+ role of
+the paper's Section 3.1): canonical frequency ordering, inverted index over
+ranking prefixes, position filter, early-exit verification.
+
+The module also houses the *kernels* the distributed algorithms run inside
+each per-item group after the shuffle:
+
+* :func:`join_group_indexed` — the VJ style: index the group members'
+  prefixes, probe, filter, verify;
+* :func:`join_group_nested_loop` — the VJ-NL style (Section 4.1): walk the
+  group with iterators in a nested loop, position-filter on the group's
+  key item, verify;
+* :func:`join_groups_rs` — the R-S join between two sub-partitions of a
+  split posting list (Section 6).
+
+All kernels yield ``(pair, distance)`` with canonical pair order; global
+deduplication is the caller's job (pairs can be found under several items).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..rankings.bounds import (
+    admits_disjoint_pairs,
+    overlap_prefix_size,
+    ordered_prefix_size,
+    position_filter_bound,
+    raw_threshold,
+)
+from ..rankings.dataset import RankingDataset
+from ..rankings.ordering import OrderedRanking, order_dataset
+from .types import JoinResult, JoinStats, canonical_pair
+from .verification import check_pair, verify
+
+
+def prefix_size_for(prefix: str, theta_raw: float, k: int) -> int:
+    """Resolve a prefix-scheme name to a size.
+
+    ``"overlap"`` is the paper's default (compatible with frequency
+    reordering); ``"ordered"`` is Lemma 4.1's slightly tighter prefix that
+    requires rankings kept in rank order.
+    """
+    if prefix == "overlap":
+        return overlap_prefix_size(theta_raw, k)
+    if prefix == "ordered":
+        return ordered_prefix_size(theta_raw, k)
+    raise ValueError(f"unknown prefix scheme {prefix!r}")
+
+
+class PrefixFilterJoin:
+    """Single-machine similarity join over top-k rankings.
+
+    Parameters
+    ----------
+    theta:
+        Normalized Footrule threshold in ``[0, 1]``.
+    prefix:
+        ``"overlap"`` (frequency-ordered canonical prefix, the default) or
+        ``"ordered"`` (Lemma 4.1 rank-order prefix — skips the frequency
+        reordering step entirely).
+    use_position_filter:
+        Apply the rank-displacement filter before verification.
+    """
+
+    def __init__(
+        self,
+        theta: float,
+        prefix: str = "overlap",
+        use_position_filter: bool = True,
+    ):
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta}")
+        self.theta = theta
+        self.prefix = prefix
+        self.use_position_filter = use_position_filter
+
+    def join(self, dataset: RankingDataset) -> JoinResult:
+        if admits_disjoint_pairs(raw_threshold(self.theta, dataset.k),
+                                 dataset.k):
+            # theta admits item-disjoint pairs: no prefix can retrieve
+            # them, and every pair is a result — join exhaustively.
+            from .bruteforce import bruteforce_join
+
+            return bruteforce_join(dataset, self.theta)
+        start = perf_counter()
+        theta_raw = raw_threshold(self.theta, dataset.k)
+        p = prefix_size_for(self.prefix, theta_raw, dataset.k)
+        stats = JoinStats()
+
+        if self.prefix == "overlap":
+            ordered = order_dataset(dataset.rankings)
+        else:
+            # Lemma 4.1's prefix requires the rank order itself as the
+            # canonical order: the prefix is simply the top-p items.
+            ordered = [
+                OrderedRanking(r, [(item, pos) for pos, item in enumerate(r.items)])
+                for r in dataset
+            ]
+        ordered.sort(key=lambda o: o.rid)
+
+        pairs = []
+        index: dict = {}
+        for probe in ordered:
+            seen: set = set()
+            for item, _rank in probe.prefix(p):
+                for other in index.get(item, ()):
+                    if other.rid in seen:
+                        continue
+                    seen.add(other.rid)
+                    distance = check_pair(
+                        probe.ranking,
+                        other.ranking,
+                        theta_raw,
+                        stats,
+                        self.use_position_filter,
+                    )
+                    if distance is not None:
+                        pairs.append(
+                            (*canonical_pair(probe.rid, other.rid), distance)
+                        )
+            for item, _rank in probe.prefix(p):
+                index.setdefault(item, []).append(probe)
+        return JoinResult(
+            pairs=pairs,
+            theta=self.theta,
+            k=dataset.k,
+            stats=stats,
+            phase_seconds={"join": perf_counter() - start},
+            algorithm=f"prefix-filter/{self.prefix}",
+        )
+
+
+def join_group_indexed(
+    members: list,
+    prefix_size: int,
+    theta_raw: float,
+    stats: JoinStats,
+    use_position_filter: bool = True,
+):
+    """VJ kernel: inverted index over the group members' prefixes.
+
+    ``members`` are :class:`OrderedRanking` objects that all share the
+    group's key item.  Yields ``((rid_i, rid_j), distance)`` results.
+    """
+    members = sorted(members, key=lambda o: o.rid)
+    index: dict = {}
+    for probe in members:
+        seen: set = set()
+        for item, _rank in probe.prefix(prefix_size):
+            bucket = index.get(item)
+            if not bucket:
+                continue
+            for other in bucket:
+                if other.rid in seen:
+                    continue
+                seen.add(other.rid)
+                distance = check_pair(
+                    probe.ranking,
+                    other.ranking,
+                    theta_raw,
+                    stats,
+                    use_position_filter,
+                )
+                if distance is not None:
+                    yield canonical_pair(probe.rid, other.rid), distance
+        for item, _rank in probe.prefix(prefix_size):
+            index.setdefault(item, []).append(probe)
+
+
+def join_group_nested_loop(
+    members: list,
+    key_item,
+    theta_raw: float,
+    stats: JoinStats,
+    use_position_filter: bool = True,
+):
+    """VJ-NL kernel (Section 4.1): iterator-friendly nested loop.
+
+    Every member contains ``key_item`` in its prefix; the cheap O(1)
+    position check on that item runs before the (early-exit) verification.
+    """
+    members = sorted(members, key=lambda o: o.rid)
+    bound = position_filter_bound(theta_raw)
+    for a_index, left in enumerate(members):
+        left_rank = left.ranking.rank_of(key_item)
+        for right in members[a_index + 1 :]:
+            stats.candidates += 1
+            if (
+                use_position_filter
+                and abs(left_rank - right.ranking.rank_of(key_item)) > bound
+            ):
+                stats.position_filtered += 1
+                continue
+            stats.verified += 1
+            distance = _verify_counted(left, right, theta_raw, stats)
+            if distance is not None:
+                yield canonical_pair(left.rid, right.rid), distance
+
+
+def join_groups_rs(
+    left_members: list,
+    right_members: list,
+    key_item,
+    theta_raw: float,
+    stats: JoinStats,
+    use_position_filter: bool = True,
+):
+    """R-S kernel between two sub-partitions of one split posting list."""
+    bound = position_filter_bound(theta_raw)
+    for left in left_members:
+        left_rank = left.ranking.rank_of(key_item)
+        for right in right_members:
+            if left.rid == right.rid:
+                continue
+            stats.candidates += 1
+            if (
+                use_position_filter
+                and abs(left_rank - right.ranking.rank_of(key_item)) > bound
+            ):
+                stats.position_filtered += 1
+                continue
+            stats.verified += 1
+            distance = _verify_counted(left, right, theta_raw, stats)
+            if distance is not None:
+                yield canonical_pair(left.rid, right.rid), distance
+
+
+def _verify_counted(
+    left: OrderedRanking, right: OrderedRanking, theta_raw: float, stats: JoinStats
+):
+    distance = verify(left.ranking, right.ranking, theta_raw)
+    if distance is not None:
+        stats.results += 1
+    return distance

@@ -1,0 +1,81 @@
+"""Candidate verification and the filters shared by all join algorithms."""
+
+from __future__ import annotations
+
+from ..rankings.bounds import position_filter_bound
+from ..rankings.ranking import Ranking
+from .types import JoinStats
+
+
+def verify(tau: Ranking, sigma: Ranking, theta_raw: float) -> int | None:
+    """Compute the Footrule distance, returning it iff ``<= theta_raw``.
+
+    Early-exits once the running sum exceeds the threshold (the common
+    case: most candidates are not results).
+    """
+    k = tau.k
+    sigma_ranks = sigma.ranks
+    tau_ranks = tau.ranks
+    total = 0
+    for pos, item in enumerate(tau.items):
+        other = sigma_ranks.get(item)
+        total += (k - pos) if other is None else abs(pos - other)
+        if total > theta_raw:
+            return None
+    for pos, item in enumerate(sigma.items):
+        if item not in tau_ranks:
+            total += k - pos
+            if total > theta_raw:
+                return None
+    return total
+
+
+def violates_position_filter(
+    tau: Ranking, sigma: Ranking, theta_raw: float
+) -> bool:
+    """Full position filter: any shared item displaced by more than
+    ``theta_raw / 2`` proves the pair is not a result (prior work [19])."""
+    bound = position_filter_bound(theta_raw)
+    sigma_ranks = sigma.ranks
+    for pos, item in enumerate(tau.items):
+        other = sigma_ranks.get(item)
+        if other is not None and abs(pos - other) > bound:
+            return True
+    return False
+
+
+def check_pair(
+    tau: Ranking,
+    sigma: Ranking,
+    theta_raw: float,
+    stats: JoinStats,
+    use_position_filter: bool = True,
+) -> int | None:
+    """Filter-then-verify one candidate pair, updating ``stats``.
+
+    Returns the raw distance for results, ``None`` otherwise.
+    """
+    stats.candidates += 1
+    if use_position_filter and violates_position_filter(tau, sigma, theta_raw):
+        stats.position_filtered += 1
+        return None
+    stats.verified += 1
+    distance = verify(tau, sigma, theta_raw)
+    if distance is not None:
+        stats.results += 1
+    return distance
+
+
+def triangle_bounds(
+    centroid_distance: int, member_distance: int
+) -> tuple:
+    """Footrule is a metric: bounds on d(member, other) given
+    d(centroid, other) and d(member, centroid).
+
+    Returns ``(lower, upper)``: ``|d(c,o) - d(m,c)| <= d(m,o) <= d(c,o) + d(m,c)``.
+    The expansion phase prunes when ``lower > theta`` and accepts without
+    verification when ``upper <= theta`` (Section 5.3).
+    """
+    lower = abs(centroid_distance - member_distance)
+    upper = centroid_distance + member_distance
+    return lower, upper

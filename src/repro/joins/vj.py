@@ -1,0 +1,188 @@
+"""The Vernica-Join adaptation to top-k rankings (Section 4).
+
+Pipeline (one mini-Spark job chain, mirroring the paper's Spark stages):
+
+1. **Ordering** — count global item frequencies (a reduceByKey job),
+   broadcast the table, and re-sort every ranking's items by ascending
+   frequency while keeping the original ranks (``OrderedRanking``).
+2. **Token emission** — every ranking emits ``(item, ranking)`` for each of
+   its first ``p`` canonical items, where ``p`` is the overlap-based prefix
+   for the threshold.
+3. **Grouping + per-group join** — rankings sharing an item meet in one
+   group; a kernel joins them:
+
+   * ``variant="index"`` (VJ): an inverted index over the group members'
+     prefixes, plus the position filter (prior work [19]);
+   * ``variant="nl"`` (VJ-NL, Section 4.1): an iterator-based nested loop
+     with the O(1) position check on the group's key item — the variant
+     the paper argues is more native to Spark's memory model.
+
+4. **Deduplication** — the same pair can be found under several shared
+   items; a final reduceByKey keeps one copy (the paper's "remove the
+   duplicate pairs" phase).
+
+``partition_threshold`` activates Section 6's repartitioning of oversized
+groups (used standalone here; the CL-P algorithm applies it inside its
+joining phase).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from time import perf_counter
+
+from ..minispark.context import Context
+from ..rankings.bounds import admits_disjoint_pairs, raw_threshold
+from ..rankings.dataset import RankingDataset
+from ..rankings.ordering import order_ranking
+from .grouping import distinct_pairs, grouped_join
+from .local import (
+    join_group_indexed,
+    join_group_nested_loop,
+    join_groups_rs,
+    prefix_size_for,
+)
+from .types import JoinResult, JoinStats
+
+
+def vj_join(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    num_partitions: int | None = None,
+    variant: str = "index",
+    prefix: str = "overlap",
+    use_position_filter: bool = True,
+    partition_threshold: int | None = None,
+    seed: int = 0,
+) -> JoinResult:
+    """Run VJ (``variant="index"``) or VJ-NL (``variant="nl"``).
+
+    ``theta`` is the normalized Footrule threshold.  Returns all pairs with
+    distance ``<= theta`` exactly (verified — no false positives).
+    """
+    if variant not in ("index", "nl"):
+        raise ValueError(f"unknown variant {variant!r}")
+    num_partitions = num_partitions or ctx.default_parallelism
+    theta_raw = raw_threshold(theta, dataset.k)
+    if admits_disjoint_pairs(theta_raw, dataset.k):
+        # Degenerate threshold (normalized >= 1): item-disjoint pairs are
+        # results and no prefix can retrieve them; every pair matches.
+        from .bruteforce import bruteforce_join
+
+        return bruteforce_join(dataset, theta)
+    p = prefix_size_for(prefix, theta_raw, dataset.k)
+    stats = JoinStats()
+    phase_seconds: dict = {}
+
+    start = perf_counter()
+    rdd = ctx.parallelize(dataset.rankings, num_partitions)
+    ordered = order_rankings_rdd(ctx, rdd, prefix)
+    phase_seconds["ordering"] = perf_counter() - start
+
+    start = perf_counter()
+    tokens = ordered.flat_map(
+        lambda o: ((item, o) for item, _rank in o.prefix(p))
+    )
+    kernel, rs_kernel = make_kernels(
+        variant, p, theta_raw, stats, use_position_filter
+    )
+    pairs = grouped_join(
+        ctx,
+        tokens,
+        num_partitions,
+        kernel,
+        rs_kernel=rs_kernel,
+        partition_threshold=partition_threshold,
+        stats=stats,
+        seed=seed,
+    )
+    unique = distinct_pairs(pairs, num_partitions)
+    results = [(i, j, d) for (i, j), d in unique.collect()]
+    phase_seconds["join"] = perf_counter() - start
+
+    stats.results = len(results)
+    name = "vj" if variant == "index" else "vj-nl"
+    if partition_threshold is not None:
+        name += "+repartition"
+    return JoinResult(
+        pairs=results,
+        theta=theta,
+        k=dataset.k,
+        stats=stats,
+        phase_seconds=phase_seconds,
+        algorithm=name,
+    )
+
+
+def order_rankings_rdd(ctx: Context, rdd, prefix: str = "overlap"):
+    """Frequency-order an RDD of rankings (Section 4's first two phases).
+
+    For the ``"ordered"`` (rank-order) prefix scheme the frequency job is
+    skipped entirely — the canonical order is the rank order itself.
+    """
+    if prefix == "ordered":
+        return rdd.map(_rank_ordered)
+    frequencies = dict(
+        rdd.flat_map(lambda r: ((item, 1) for item in r.items))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    table = ctx.broadcast(frequencies)
+    return rdd.map(lambda r: order_ranking(r, table.value))
+
+
+def _rank_ordered(ranking):
+    from ..rankings.ordering import OrderedRanking
+
+    return OrderedRanking(
+        ranking, [(item, pos) for pos, item in enumerate(ranking.items)]
+    )
+
+
+def make_kernels(
+    variant: str,
+    prefix_size: int,
+    theta_raw: float,
+    stats: JoinStats,
+    use_position_filter: bool,
+):
+    """Build the per-group and R-S kernels for a plain threshold join."""
+    if variant == "index":
+
+        def kernel(_item, members):
+            return join_group_indexed(
+                list(members), prefix_size, theta_raw, stats, use_position_filter
+            )
+
+    else:
+
+        def kernel(item, members):
+            return join_group_nested_loop(
+                list(members), item, theta_raw, stats, use_position_filter
+            )
+
+    rs_kernel = partial(
+        _rs_kernel, theta_raw=theta_raw, stats=stats,
+        use_position_filter=use_position_filter,
+    )
+    return kernel, rs_kernel
+
+
+def _rs_kernel(item, left, right, theta_raw, stats, use_position_filter):
+    return join_groups_rs(
+        list(left), list(right), item, theta_raw, stats, use_position_filter
+    )
+
+
+def vj_nl_join(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    num_partitions: int | None = None,
+    **kwargs,
+) -> JoinResult:
+    """Convenience alias for the nested-loop variant (VJ-NL)."""
+    return vj_join(
+        ctx, dataset, theta, num_partitions, variant="nl", **kwargs
+    )

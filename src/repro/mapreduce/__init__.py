@@ -1,0 +1,16 @@
+"""Hadoop-style MapReduce backend and the original VJ pipeline on it.
+
+Exists to *demonstrate* the paper's motivation (Sections 1, 3.2): each
+MapReduce stage materializes to disk, which the Spark-style in-memory
+engine avoids.  See ``benchmarks/test_motivation_spark_vs_mapreduce.py``.
+"""
+
+from .job import MapReduceJob, MapReduceMetrics, MapReducePipeline
+from .vj_mr import vj_mapreduce_join
+
+__all__ = [
+    "MapReduceJob",
+    "MapReduceMetrics",
+    "MapReducePipeline",
+    "vj_mapreduce_join",
+]

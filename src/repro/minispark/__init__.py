@@ -1,0 +1,36 @@
+"""A from-scratch, single-process Spark-like dataflow engine.
+
+Provides the execution substrate the paper's algorithms are written
+against: lazy RDD lineage, narrow/wide transformations with hash shuffles,
+broadcast variables, per-task timing, and a cluster cost model that replays
+measured task durations onto a configurable ``executors x cores`` shape.
+"""
+
+from .cluster import TABLE3_CONFIG, ClusterConfig, ClusterModel, CostModel
+from .context import Accumulator, Broadcast, Context
+from .metrics import JobMetrics, MetricsCollector, StageMetrics
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    portable_hash,
+)
+from .rdd import RDD
+
+__all__ = [
+    "TABLE3_CONFIG",
+    "Accumulator",
+    "Broadcast",
+    "ClusterConfig",
+    "ClusterModel",
+    "Context",
+    "CostModel",
+    "HashPartitioner",
+    "JobMetrics",
+    "MetricsCollector",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "StageMetrics",
+    "portable_hash",
+]

@@ -1,0 +1,114 @@
+"""Context: entry point of the mini-Spark engine (``SparkContext`` analog)."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from .cluster import ClusterConfig, ClusterModel, CostModel
+from .metrics import MetricsCollector
+from .rdd import ParallelCollectionRDD, RDD
+from .scheduler import Scheduler
+
+
+class Broadcast:
+    """A read-only value shared with every task (``sc.broadcast`` analog).
+
+    On real Spark this ships one copy per executor; here it is a thin
+    wrapper, but the algorithms use it exactly as on the cluster (the VJ
+    frequency table, prefix sizes, thresholds).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class Accumulator:
+    """A write-only-from-tasks counter (``sc.accumulator`` analog).
+
+    The join algorithms use accumulators for candidate/verification counts
+    so that instrumentation flows the same way it would on a cluster.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, initial=0):
+        self.value = initial
+
+    def add(self, amount=1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Accumulator({self.value})"
+
+
+class Context:
+    """Owns the scheduler, metrics, and cluster configuration.
+
+    Parameters
+    ----------
+    default_parallelism:
+        Partition count used when a wide transformation does not specify
+        one.  The paper uses 286 partitions in most experiments.
+    cluster:
+        Shape of the simulated cluster (defaults to the paper's Table 3
+        configuration); used by :meth:`simulated_seconds`.
+    cost_model:
+        Constants of the makespan simulation.
+    task_retries:
+        How often a failed task is retried before the job fails
+        (``spark.task.maxFailures - 1``; Spark's default is 3 retries,
+        ours is 0 so tests see errors immediately unless asked).
+    """
+
+    def __init__(
+        self,
+        default_parallelism: int = 8,
+        cluster: ClusterConfig | None = None,
+        cost_model: CostModel | None = None,
+        task_retries: int = 0,
+    ):
+        if default_parallelism <= 0:
+            raise ValueError(
+                f"default_parallelism must be positive, got {default_parallelism}"
+            )
+        if task_retries < 0:
+            raise ValueError(f"task_retries must be >= 0, got {task_retries}")
+        self.default_parallelism = default_parallelism
+        self.task_retries = task_retries
+        self.cluster = cluster or ClusterConfig()
+        self.cost_model = cost_model or CostModel()
+        self.scheduler = Scheduler(self)
+        self.metrics = MetricsCollector()
+
+    def parallelize(
+        self, data: Iterable, num_partitions: int | None = None
+    ) -> RDD:
+        """Distribute an in-memory collection into an RDD."""
+        if num_partitions is None:
+            num_partitions = self.default_parallelism
+        return ParallelCollectionRDD(self, data, num_partitions)
+
+    def text_file(
+        self, path: str | os.PathLike, num_partitions: int | None = None
+    ) -> RDD:
+        """Read a text file as an RDD of lines (without trailing newlines)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+        return self.parallelize(lines, num_partitions)
+
+    def broadcast(self, value) -> Broadcast:
+        return Broadcast(value)
+
+    def accumulator(self, initial=0) -> Accumulator:
+        return Accumulator(initial)
+
+    def simulated_seconds(self, cluster: ClusterConfig | None = None) -> float:
+        """Replay all recorded jobs on a cluster shape (defaults to own)."""
+        model = ClusterModel(cluster or self.cluster, self.cost_model)
+        return sum(model.simulate(job) for job in self.metrics.jobs)
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()

@@ -1,0 +1,99 @@
+"""Execution metrics collected by the mini-Spark scheduler.
+
+Every job records, per stage, the wall-clock duration of each task and the
+record counts flowing through.  The measurements serve two purposes:
+
+* they are the raw material of the :class:`repro.minispark.cluster
+  .ClusterModel`, which replays the task durations onto a configurable
+  number of executor slots to estimate what the job would cost on a real
+  cluster of a given size (this is how the node-scaling experiment of the
+  paper, Figure 7, is reproduced without physical nodes);
+* the benchmark harness reports them alongside measured wall time so that
+  skew effects (a few giant tasks dominating a stage) stay visible — the
+  phenomenon CL-P's repartitioning targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageMetrics:
+    """Measurements of one stage (one shuffle map phase or a result stage)."""
+
+    name: str
+    task_seconds: list = field(default_factory=list)
+    records_in: int = 0
+    records_out: int = 0
+    shuffle_records: int = 0
+    task_failures: int = 0
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_seconds)
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(self.task_seconds)
+
+    @property
+    def max_task_seconds(self) -> float:
+        return max(self.task_seconds, default=0.0)
+
+    def skew_ratio(self) -> float:
+        """Max-over-mean task duration — 1.0 means perfectly balanced."""
+        if not self.task_seconds:
+            return 1.0
+        mean = self.total_task_seconds / len(self.task_seconds)
+        if mean == 0.0:
+            return 1.0
+        return self.max_task_seconds / mean
+
+
+@dataclass
+class JobMetrics:
+    """All stages of one action (job), in execution order."""
+
+    name: str = "job"
+    stages: list = field(default_factory=list)
+
+    def new_stage(self, name: str) -> StageMetrics:
+        stage = StageMetrics(name)
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(s.total_task_seconds for s in self.stages)
+
+    @property
+    def total_shuffle_records(self) -> int:
+        return sum(s.shuffle_records for s in self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    def merge(self, other: "JobMetrics") -> None:
+        """Append another job's stages (used to aggregate multi-job algorithms)."""
+        self.stages.extend(other.stages)
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates the jobs a :class:`repro.minispark.context.Context` ran."""
+
+    jobs: list = field(default_factory=list)
+
+    def add(self, job: JobMetrics) -> None:
+        self.jobs.append(job)
+
+    def combined(self, name: str = "all-jobs") -> JobMetrics:
+        total = JobMetrics(name)
+        for job in self.jobs:
+            total.merge(job)
+        return total
+
+    def reset(self) -> None:
+        self.jobs.clear()

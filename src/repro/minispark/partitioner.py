@@ -1,0 +1,99 @@
+"""Partitioners: how keys map to shuffle partitions.
+
+``portable_hash`` is deterministic across interpreter runs (Python's
+built-in ``hash`` randomizes strings per process), so shuffle layouts — and
+therefore task-skew measurements — are reproducible.  The scheme follows
+PySpark's portable hash: integers hash to themselves, tuples combine
+element hashes, strings/bytes go through CRC32.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def portable_hash(value) -> int:
+    """A process-independent hash for shuffle partitioning."""
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, float):
+        return hash(value)
+    if isinstance(value, (tuple, frozenset)):
+        items = value if isinstance(value, tuple) else sorted(value, key=repr)
+        result = 0x345678
+        for element in items:
+            result = (1000003 * result) ^ portable_hash(element)
+            result &= 0xFFFFFFFFFFFFFFFF
+        return result
+    return hash(value)
+
+
+class Partitioner:
+    """Maps a key to a partition index in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    def partition(self, key) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``portable_hash(key) mod num_partitions``."""
+
+    def partition(self, key) -> int:
+        return portable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioning against precomputed split points (for sortBy).
+
+    ``bounds`` are the upper split keys: partition ``i`` receives keys
+    ``bounds[i-1] < key <= bounds[i]`` (first/last partitions unbounded
+    below/above).  ``len(bounds) == num_partitions - 1``.
+    """
+
+    def __init__(self, bounds: list, ascending: bool = True):
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        self.ascending = ascending
+
+    def partition(self, key) -> int:
+        # Linear scan: bounds counts are tiny (== partition count).
+        index = 0
+        while index < len(self.bounds) and key > self.bounds[index]:
+            index += 1
+        if self.ascending:
+            return index
+        return self.num_partitions - 1 - index
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.bounds == other.bounds
+            and self.ascending == other.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RangePartitioner", tuple(self.bounds), self.ascending))

@@ -1,0 +1,88 @@
+"""Top-k ranking model, distances, filter bounds, datasets, and ordering."""
+
+from .bounds import (
+    jaccard_min_overlap,
+    jaccard_prefix_size,
+    min_footrule_at_overlap,
+    min_footrule_disjoint_prefix,
+    min_overlap,
+    normalize_threshold,
+    ordered_prefix_size,
+    overlap_prefix_size,
+    passes_position_filter,
+    position_filter_bound,
+    raw_threshold,
+)
+from .dataset import RankingDataset
+from .distances import (
+    footrule,
+    footrule_normalized,
+    footrule_within,
+    jaccard_distance,
+    kendall_tau,
+    max_footrule,
+    max_kendall_tau,
+)
+from .generator import (
+    PROFILES,
+    DatasetProfile,
+    generate,
+    increase,
+    make_dataset,
+    zipf_weights,
+)
+from .ordering import (
+    OrderedRanking,
+    frequency_order_key,
+    item_frequencies,
+    order_dataset,
+    order_ranking,
+)
+from .ranking import Ranking, make_rankings
+from .variable import (
+    footrule_variable,
+    max_footrule_variable,
+    max_length_difference,
+    min_footrule_for_lengths,
+    variable_length_join,
+)
+
+__all__ = [
+    "PROFILES",
+    "DatasetProfile",
+    "OrderedRanking",
+    "Ranking",
+    "RankingDataset",
+    "footrule",
+    "footrule_normalized",
+    "footrule_variable",
+    "footrule_within",
+    "frequency_order_key",
+    "generate",
+    "increase",
+    "item_frequencies",
+    "jaccard_distance",
+    "jaccard_min_overlap",
+    "jaccard_prefix_size",
+    "kendall_tau",
+    "make_dataset",
+    "make_rankings",
+    "max_footrule",
+    "max_footrule_variable",
+    "max_kendall_tau",
+    "max_length_difference",
+    "min_footrule_for_lengths",
+    "min_footrule_at_overlap",
+    "min_footrule_disjoint_prefix",
+    "min_overlap",
+    "normalize_threshold",
+    "order_dataset",
+    "order_ranking",
+    "ordered_prefix_size",
+    "overlap_prefix_size",
+    "passes_position_filter",
+    "position_filter_bound",
+    "raw_threshold",
+    "variable_length_join",
+    "zipf_weights",
+]

@@ -1,0 +1,138 @@
+"""Dataset container and text IO for top-k rankings.
+
+The paper's Spark jobs read datasets as text files, one record per line,
+tokens separated by whitespace; set records (DBLP / ORKU) are turned into
+top-k rankings by keeping the first ``k`` tokens and dropping records that
+are shorter than ``k`` (Section 7, "Datasets").  This module mirrors that
+pipeline for local files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .ranking import Ranking
+
+
+class RankingDataset:
+    """A collection of equal-length top-k rankings.
+
+    The container validates that all rankings share the same ``k`` — the
+    paper's problem statement fixes the ranking length, and all prefix
+    bounds in :mod:`repro.rankings.bounds` assume it.
+    """
+
+    def __init__(self, rankings: Iterable[Ranking]):
+        self.rankings: list = list(rankings)
+        if not self.rankings:
+            raise ValueError("dataset must contain at least one ranking")
+        k = self.rankings[0].k
+        for r in self.rankings:
+            if r.k != k:
+                raise ValueError(
+                    f"all rankings must have length {k}; "
+                    f"ranking {r.rid} has length {r.k}"
+                )
+        ids = {r.rid for r in self.rankings}
+        if len(ids) != len(self.rankings):
+            raise ValueError("ranking ids must be unique")
+        self.k = k
+
+    def __len__(self) -> int:
+        return len(self.rankings)
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return iter(self.rankings)
+
+    def __getitem__(self, index: int) -> Ranking:
+        return self.rankings[index]
+
+    def by_id(self) -> dict:
+        """Return an id -> ranking mapping."""
+        return {r.rid: r for r in self.rankings}
+
+    @property
+    def domain(self) -> frozenset:
+        """Union of all item domains."""
+        items: set = set()
+        for r in self.rankings:
+            items.update(r.items)
+        return frozenset(items)
+
+    def subset(self, n: int) -> "RankingDataset":
+        """First ``n`` rankings as a new dataset."""
+        if not 1 <= n <= len(self.rankings):
+            raise ValueError(
+                f"subset size must be in [1, {len(self.rankings)}], got {n}"
+            )
+        return RankingDataset(self.rankings[:n])
+
+    # ------------------------------------------------------------------ IO
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Sequence[int]], start_id: int = 0
+    ) -> "RankingDataset":
+        """Build a dataset from raw item rows with sequential ids."""
+        return cls(Ranking(start_id + i, row) for i, row in enumerate(rows))
+
+    @classmethod
+    def from_sets_file(
+        cls,
+        path: str | os.PathLike,
+        k: int,
+        parse_token: Callable[[str], int] = int,
+    ) -> "RankingDataset":
+        """Read a set-record text file and truncate records to top-k rankings.
+
+        Mirrors the paper's preprocessing: records shorter than ``k`` are
+        dropped; the first ``k`` tokens of the remaining records become the
+        ranking, in record order.  Tokens repeated within the first ``k``
+        positions would violate the no-duplicate-items invariant, so any
+        duplicate token is skipped and the record keeps consuming tokens
+        until ``k`` distinct ones are found (or the record is dropped).
+        """
+        rows: list = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                tokens = line.split()
+                if len(tokens) < k:
+                    continue
+                items: list = []
+                seen: set = set()
+                for token in tokens:
+                    value = parse_token(token)
+                    if value in seen:
+                        continue
+                    seen.add(value)
+                    items.append(value)
+                    if len(items) == k:
+                        break
+                if len(items) == k:
+                    rows.append(items)
+        if not rows:
+            raise ValueError(f"no record in {path!s} has >= {k} distinct tokens")
+        return cls.from_rows(rows)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the dataset as ``id: item item ...`` lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for r in self.rankings:
+                items = " ".join(str(i) for i in r.items)
+                handle.write(f"{r.rid}: {items}\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RankingDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        rankings: list = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                head, _, tail = line.partition(":")
+                rankings.append(
+                    Ranking(int(head), [int(t) for t in tail.split()])
+                )
+        return cls(rankings)

@@ -1,0 +1,104 @@
+"""Canonical frequency ordering of ranking items (Section 4).
+
+The VJ algorithm's first phase counts global item frequencies and re-sorts
+every ranking's items by increasing frequency, so that the prefix holds the
+*rarest* items and posting lists stay short on skewed data.  The re-sorted
+view must keep the original ranks — the Footrule distance and the position
+filter are computed on original ranks — so an ordered ranking is an array
+of ``(item, original_rank)`` pairs, exactly the representation shown in the
+paper's Figure 3.
+
+Ties in frequency are broken by item id, making the canonical order total
+and deterministic across partitions (a requirement for the prefix filter's
+correctness: all rankings must agree on one global order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .ranking import Ranking
+
+
+class OrderedRanking:
+    """A ranking re-sorted into the canonical frequency order.
+
+    ``pairs`` holds ``(item, original_rank)`` tuples sorted by ascending
+    global item frequency; ``ranking`` keeps the original object for
+    verification.  The object is what flows through the shuffle in the
+    distributed algorithms.
+    """
+
+    __slots__ = ("ranking", "pairs")
+
+    def __init__(self, ranking: Ranking, pairs: Sequence[tuple]):
+        self.ranking = ranking
+        self.pairs = tuple(pairs)
+
+    @property
+    def rid(self) -> int:
+        return self.ranking.rid
+
+    def prefix(self, p: int) -> tuple:
+        """First ``p`` canonical ``(item, original_rank)`` pairs."""
+        return self.pairs[:p]
+
+    def prefix_items(self, p: int) -> list:
+        """Items of the canonical prefix, without ranks."""
+        return [item for item, _ in self.pairs[:p]]
+
+    def __repr__(self) -> str:
+        return f"OrderedRanking({self.rid}, {list(self.pairs)})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OrderedRanking):
+            return NotImplemented
+        return self.ranking == other.ranking and self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash((self.ranking, self.pairs))
+
+
+def item_frequencies(rankings: Iterable[Ranking]) -> dict:
+    """Count how many rankings each item appears in."""
+    counts: dict = {}
+    for ranking in rankings:
+        for item in ranking.items:
+            counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+def frequency_order_key(frequencies: Mapping) -> "callable":
+    """Sort key realizing the canonical order: (frequency, item id).
+
+    Items absent from the frequency table (possible when ordering a
+    dataset against statistics of another) sort as frequency zero, i.e.
+    maximally rare, which keeps the order total.
+    """
+
+    def key(item):
+        return (frequencies.get(item, 0), item)
+
+    return key
+
+
+def order_ranking(ranking: Ranking, frequencies: Mapping) -> OrderedRanking:
+    """Re-sort one ranking into the canonical frequency order."""
+    key = frequency_order_key(frequencies)
+    pairs = sorted(
+        ((item, rank) for rank, item in enumerate(ranking.items)),
+        key=lambda pair: key(pair[0]),
+    )
+    return OrderedRanking(ranking, pairs)
+
+
+def order_dataset(rankings: Iterable[Ranking]) -> list:
+    """Frequency-order a whole collection (counts + re-sort in one call).
+
+    Local convenience used by the in-memory join and by tests; the
+    distributed algorithms instead broadcast the frequency table and apply
+    :func:`order_ranking` inside a map stage.
+    """
+    rankings = list(rankings)
+    frequencies = item_frequencies(rankings)
+    return [order_ranking(r, frequencies) for r in rankings]

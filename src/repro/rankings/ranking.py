@@ -1,0 +1,115 @@
+"""Top-k ranking model.
+
+A *top-k ranking* (a "top-k list" in Fagin et al.'s terminology) is a
+bijection from a domain of ``k`` distinct items onto the positions
+``0 .. k-1``, where position 0 is the top-ranked item.  Two rankings need
+not share a domain, which is what distinguishes top-k lists from
+permutations and motivates the artificial rank ``l = k`` used by the
+Footrule adaptation (see :mod:`repro.rankings.distances`).
+
+The class below stores the items as an immutable tuple ordered by rank and
+builds the inverse (item -> rank) mapping lazily on first access, since a
+large share of rankings in a join never reach the verification step that
+needs random rank lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class Ranking:
+    """An immutable top-k ranking with an integer id.
+
+    Parameters
+    ----------
+    rid:
+        Identifier of the ranking; join results are reported as id pairs.
+    items:
+        Items ordered by rank: ``items[0]`` is the top-ranked item.  Items
+        must be hashable and pairwise distinct.
+
+    Examples
+    --------
+    >>> r = Ranking(7, [2, 5, 4, 3, 1])
+    >>> r.k
+    5
+    >>> r.rank_of(5)
+    1
+    >>> 4 in r
+    True
+    """
+
+    __slots__ = ("rid", "items", "_ranks")
+
+    def __init__(self, rid: int, items: Iterable[int]):
+        self.rid = rid
+        self.items: tuple = tuple(items)
+        if len(set(self.items)) != len(self.items):
+            raise ValueError(
+                f"ranking {rid} contains duplicate items: {self.items}"
+            )
+        if not self.items:
+            raise ValueError(f"ranking {rid} is empty")
+        self._ranks: dict | None = None
+
+    @property
+    def k(self) -> int:
+        """Length of the ranking."""
+        return len(self.items)
+
+    @property
+    def ranks(self) -> Mapping:
+        """Item -> rank mapping (built lazily, then cached)."""
+        if self._ranks is None:
+            self._ranks = {item: pos for pos, item in enumerate(self.items)}
+        return self._ranks
+
+    def rank_of(self, item, default: int | None = None) -> int:
+        """Return the rank of ``item``.
+
+        ``default`` is returned for items not in the ranking; passing
+        ``default=None`` (the default) raises ``KeyError`` instead.  The
+        distance functions pass ``default=k`` — the artificial rank.
+        """
+        if default is None:
+            return self.ranks[item]
+        return self.ranks.get(item, default)
+
+    @property
+    def domain(self) -> frozenset:
+        """The set of items contained in the ranking."""
+        return frozenset(self.items)
+
+    def __contains__(self, item) -> bool:
+        return item in self.ranks
+
+    def __iter__(self) -> Iterator:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return self.rid == other.rid and self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash((self.rid, self.items))
+
+    def __lt__(self, other: "Ranking") -> bool:
+        """Rankings order by id — the canonical pair order of the paper."""
+        return self.rid < other.rid
+
+    def __repr__(self) -> str:
+        return f"Ranking({self.rid}, {list(self.items)})"
+
+
+def make_rankings(rows: Sequence[Sequence[int]], start_id: int = 0) -> list:
+    """Build a list of :class:`Ranking` from raw item rows.
+
+    Ids are assigned sequentially starting at ``start_id``, mirroring how
+    the Spark jobs of the paper derive ids from input line numbers.
+    """
+    return [Ranking(start_id + i, row) for i, row in enumerate(rows)]

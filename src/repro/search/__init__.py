@@ -1,0 +1,16 @@
+"""Similarity range search over top-k rankings (the prior-work substrate).
+
+The paper's filter bounds originate in the authors' range-search work
+[18]; this subpackage provides that system: a prefix inverted index and
+the coarse (cluster-pruned) index for repeated range queries.
+"""
+
+from .coarse_index import CoarseIndex
+from .prefix_index import PrefixIndex, knn_search, range_search_bruteforce
+
+__all__ = [
+    "CoarseIndex",
+    "PrefixIndex",
+    "knn_search",
+    "range_search_bruteforce",
+]

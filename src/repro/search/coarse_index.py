@@ -1,0 +1,174 @@
+"""The coarse index of prior work [18]: inverted index + metric clusters.
+
+The authors' range-search paper combines an inverted index with a metric
+index structure to cut down distance computations, and the CL join
+algorithm's clustering phase is the same idea applied to joins (Section 2
+of the paper points at this lineage explicitly).  The construction here:
+
+* a near-duplicate clustering pass (the CL phase-2 construction: a
+  self-join at a small ``theta_c``, smaller pair id = centroid) groups
+  rankings into fixed-radius clusters; leftovers are singletons;
+* **centroids** live in a :class:`PrefixIndex` sized for
+  ``theta_max + theta_c`` — a query at ``theta`` retrieves every cluster
+  that could contain a match (members sit within ``theta_c`` of their
+  centroid, so a relevant cluster's centroid is within
+  ``theta + theta_c`` of the query);
+* a retrieved cluster is then classified with the triangle inequality:
+  ``d(q,c) + theta_c <= theta`` accepts all members without
+  verification, the per-member bound ``|d(q,c) - d(m,c)| > theta``
+  prunes, and only the remainder is verified;
+* **singletons** live in a second plain :class:`PrefixIndex`.
+
+One centroid distance computation thus stands in for a whole cluster,
+and the inverted index keeps the centroid scan sublinear — the "sweet
+spot" of the prior work's title.
+"""
+
+from __future__ import annotations
+
+from ..joins.local import PrefixFilterJoin
+from ..joins.types import JoinStats
+from ..joins.verification import verify
+from ..rankings.bounds import raw_threshold
+from ..rankings.dataset import RankingDataset
+from ..rankings.ranking import Ranking
+from .prefix_index import PrefixIndex
+
+
+class CoarseIndex:
+    """Cluster-pruned range-search index over top-k rankings."""
+
+    def __init__(
+        self,
+        dataset: RankingDataset,
+        theta_max: float = 0.4,
+        theta_c: float = 0.03,
+    ):
+        if not 0.0 <= theta_c <= theta_max:
+            raise ValueError(
+                f"need 0 <= theta_c <= theta_max, got {theta_c} / {theta_max}"
+            )
+        self.dataset = dataset
+        self.k = dataset.k
+        self.theta_max = theta_max
+        self.theta_c = theta_c
+        self.theta_c_raw = raw_threshold(theta_c, self.k)
+        self.stats = JoinStats()
+
+        by_id = dataset.by_id()
+        pairs = PrefixFilterJoin(theta_c).join(dataset).pairs
+        members: dict = {}
+        clustered: set = set()
+        for rid_a, rid_b, distance in pairs:
+            members.setdefault(rid_a, []).append((by_id[rid_b], distance))
+            clustered.update((rid_a, rid_b))
+        #: centroid id -> [(member, distance to centroid), ...]
+        self._members = members
+        self._centroid_index: PrefixIndex | None = None
+        if members:
+            self._centroid_index = PrefixIndex(
+                RankingDataset([by_id[cid] for cid in sorted(members)]),
+                theta_max=min(1.0, theta_max + theta_c),
+            )
+        singleton_rankings = [r for r in dataset if r.rid not in clustered]
+        self._singleton_index: PrefixIndex | None = None
+        if singleton_rankings:
+            self._singleton_index = PrefixIndex(
+                RankingDataset(singleton_rankings), theta_max
+            )
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._members)
+
+    @property
+    def num_singletons(self) -> int:
+        if self._singleton_index is None:
+            return 0
+        return len(self._singleton_index)
+
+    @property
+    def total_verifications(self) -> int:
+        """All Footrule computations: member + centroid + singleton side."""
+        total = self.stats.verified
+        if self._centroid_index is not None:
+            total += self._centroid_index.stats.verified
+        if self._singleton_index is not None:
+            total += self._singleton_index.stats.verified
+        return total
+
+    def query(
+        self, query: Ranking, theta: float, include_self: bool = False
+    ) -> list:
+        """All rankings within normalized distance ``theta`` of ``query``."""
+        if theta > self.theta_max:
+            raise ValueError(
+                f"theta {theta} exceeds the index's theta_max {self.theta_max}"
+            )
+        theta_raw = raw_threshold(theta, self.k)
+        found: dict = {}
+
+        if self._centroid_index is not None:
+            window = min(1.0, theta + self.theta_c)
+            for centroid, centroid_distance in self._centroid_index.query(
+                query, window, include_self=True
+            ):
+                self._expand_cluster(
+                    query, centroid, centroid_distance, theta_raw, found
+                )
+
+        if self._singleton_index is not None:
+            for ranking, distance in self._singleton_index.query(
+                query, theta, include_self=True
+            ):
+                found.setdefault(ranking.rid, (ranking, distance))
+
+        results = _fill_distances(
+            query,
+            [
+                (ranking, distance)
+                for rid, (ranking, distance) in found.items()
+                if include_self or rid != query.rid
+            ],
+        )
+        results.sort(key=lambda pair: (pair[1], pair[0].rid))
+        self.stats.results += len(results)
+        return results
+
+    def _expand_cluster(
+        self, query, centroid, centroid_distance, theta_raw, found
+    ) -> None:
+        """Classify one retrieved cluster via the triangle inequality."""
+        if centroid_distance - self.theta_c_raw > theta_raw:
+            # Retrieved by the wider window but provably matchless.
+            self.stats.triangle_filtered += 1
+            return
+        if centroid_distance <= theta_raw:
+            found.setdefault(centroid.rid, (centroid, centroid_distance))
+        certain = centroid_distance + self.theta_c_raw <= theta_raw
+        for member, member_distance in self._members[centroid.rid]:
+            if member.rid in found:
+                continue
+            if certain:
+                # d(q,m) <= d(q,c) + d(c,m) <= theta: no verification;
+                # the exact distance is filled in before returning.
+                self.stats.triangle_accepted += 1
+                found[member.rid] = (member, None)
+                continue
+            if abs(centroid_distance - member_distance) > theta_raw:
+                self.stats.triangle_filtered += 1
+                continue
+            self.stats.verified += 1
+            distance = verify(query, member, theta_raw)
+            if distance is not None:
+                found[member.rid] = (member, distance)
+
+
+def _fill_distances(query, results):
+    """Replace triangle-accepted ``None`` distances with exact values."""
+    from ..rankings.distances import footrule
+
+    return [
+        (ranking, footrule(query, ranking) if distance is None else distance)
+        for ranking, distance in results
+    ]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minispark import Context
+from repro.rankings import Ranking, RankingDataset, make_dataset
+
+
+@pytest.fixture
+def ctx() -> Context:
+    """A small mini-Spark context."""
+    return Context(default_parallelism=4)
+
+
+@pytest.fixture
+def paper_rankings() -> list:
+    """Table 2 of the paper: three top-5 rankings."""
+    return [
+        Ranking(1, [2, 5, 4, 3, 1]),
+        Ranking(2, [1, 4, 5, 9, 0]),
+        Ranking(3, [0, 8, 5, 7, 3]),
+    ]
+
+
+@pytest.fixture
+def tiny_dataset(paper_rankings) -> RankingDataset:
+    return RankingDataset(paper_rankings)
+
+
+@pytest.fixture(scope="session")
+def small_dblp() -> RankingDataset:
+    """A 120-ranking DBLP-profile dataset with near-duplicate structure."""
+    return make_dataset("dblp", size_factor=0.1, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_dblp() -> RankingDataset:
+    """A 300-ranking DBLP-profile dataset (integration-test scale)."""
+    return make_dataset("dblp", size_factor=0.25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_orku() -> RankingDataset:
+    """A 200-ranking ORKU-profile dataset."""
+    return make_dataset("orku", size_factor=0.1, seed=13)

@@ -1,0 +1,119 @@
+"""Estimation formulas and dataset statistics."""
+
+import pytest
+
+from repro.analysis import (
+    cluster_statistics,
+    dataset_statistics,
+    estimate_posting_lists,
+    expected_posting_list_length,
+    fit_zipf_skew,
+    posting_list_statistics,
+    prefix_vocabulary_size,
+    suggest_partition_threshold,
+)
+
+
+class TestEquation4:
+    def test_uniform_distribution(self):
+        # skew 0 over v' items: sum of n * (1/v')^2 over v' items = n / v'.
+        assert expected_posting_list_length(1000, 0.0, 100) == pytest.approx(10.0)
+
+    def test_skew_increases_estimate(self):
+        uniform = expected_posting_list_length(1000, 0.0, 100)
+        skewed = expected_posting_list_length(1000, 1.2, 100)
+        assert skewed > uniform
+
+    def test_scales_linearly_in_n(self):
+        assert expected_posting_list_length(
+            2000, 0.8, 50
+        ) == pytest.approx(2 * expected_posting_list_length(1000, 0.8, 50))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_posting_list_length(0, 1.0, 10)
+        with pytest.raises(ValueError):
+            expected_posting_list_length(10, 1.0, 0)
+
+
+class TestZipfFit:
+    def test_recovers_generated_skew(self):
+        from repro.rankings import item_frequencies, make_dataset
+
+        dataset = make_dataset("dblp", size_factor=0.5, seed=3)
+        fitted = fit_zipf_skew(item_frequencies(dataset.rankings))
+        # The generator draws k distinct items, which flattens the head;
+        # the fit should land in the right ballpark of the true 1.0.
+        assert 0.5 <= fitted <= 1.6
+
+    def test_uniform_counts_fit_zero(self):
+        assert fit_zipf_skew({i: 10 for i in range(50)}) == pytest.approx(0.0)
+
+    def test_degenerate_inputs(self):
+        assert fit_zipf_skew({}) == 0.0
+        assert fit_zipf_skew({1: 5}) == 0.0
+
+
+class TestDatasetStatistics:
+    def test_fields(self, small_dblp):
+        stats = dataset_statistics(small_dblp)
+        assert stats.n == len(small_dblp)
+        assert stats.k == small_dblp.k
+        assert stats.domain_size == len(small_dblp.domain)
+        assert stats.max_item_frequency >= stats.mean_item_frequency
+
+
+class TestPostingListStatistics:
+    def test_totals_consistent(self, small_dblp):
+        stats = posting_list_statistics(small_dblp, 0.3)
+        assert stats.total_entries == len(small_dblp) * stats.prefix_size
+        assert stats.max_length == stats.lengths[0]
+        assert stats.num_lists == len(stats.lengths)
+
+    def test_oversized_counter(self, small_dblp):
+        stats = posting_list_statistics(small_dblp, 0.3)
+        assert stats.oversized(0) == stats.num_lists
+        assert stats.oversized(stats.max_length) == 0
+
+    def test_larger_theta_longer_lists(self, small_dblp):
+        low = posting_list_statistics(small_dblp, 0.1)
+        high = posting_list_statistics(small_dblp, 0.4)
+        assert high.prefix_size >= low.prefix_size
+        assert high.total_entries >= low.total_entries
+
+    def test_vocabulary_size(self, small_dblp):
+        assert 0 < prefix_vocabulary_size(small_dblp, 0.3) <= len(
+            small_dblp.domain
+        )
+
+
+class TestDeltaSuggestion:
+    def test_positive(self, small_dblp):
+        assert suggest_partition_threshold(small_dblp, 0.3) >= 2
+
+    def test_headroom_scales(self, small_dblp):
+        narrow = suggest_partition_threshold(small_dblp, 0.3, headroom=1.0)
+        wide = suggest_partition_threshold(small_dblp, 0.3, headroom=8.0)
+        assert wide >= narrow
+
+    def test_invalid_headroom(self, small_dblp):
+        with pytest.raises(ValueError):
+            suggest_partition_threshold(small_dblp, 0.3, headroom=0)
+
+    def test_estimate_positive(self, small_dblp):
+        assert estimate_posting_lists(small_dblp, 0.2) > 0
+
+
+class TestClusterStatistics:
+    def test_shape(self, small_dblp):
+        stats = cluster_statistics(small_dblp, 0.03)
+        assert stats.num_clusters > 0
+        assert stats.num_singletons > 0
+        assert stats.num_clusters + stats.num_singletons <= len(small_dblp)
+        assert 0.0 <= stats.reduction < 1.0
+        assert stats.largest_cluster >= 1
+
+    def test_higher_theta_c_more_reduction(self, small_dblp):
+        low = cluster_statistics(small_dblp, 0.01)
+        high = cluster_statistics(small_dblp, 0.1)
+        assert high.reduction >= low.reduction

@@ -1,0 +1,154 @@
+"""The benchmark harness: workloads, runner, DNF budget, reporting."""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_CLUSTERS,
+    PAPER_ALGORITHMS,
+    WORKLOADS,
+    RunConfig,
+    default_delta,
+    format_cell,
+    format_markdown_table,
+    format_series_table,
+    growth_factor,
+    load_workload,
+    run,
+    run_series,
+    speedup,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_bench_scale(monkeypatch):
+    """Keep harness tests fast regardless of the environment."""
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.08")
+
+
+class TestWorkloads:
+    def test_registry_covers_paper_datasets(self):
+        assert set(WORKLOADS) == {
+            "dblp", "dblpx5", "dblpx10", "orku", "orkux5", "orku25",
+        }
+
+    def test_load_and_cache(self):
+        a = load_workload("dblp")
+        b = load_workload("dblp")
+        assert a is b
+
+    def test_scale_multiplies(self):
+        base = load_workload("dblp")
+        scaled = load_workload("dblpx5")
+        assert len(scaled) == 5 * len(base)
+
+    def test_orku25_has_k25(self):
+        assert load_workload("orku25").k == 25
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            load_workload("tpch")
+
+    def test_bad_scale_env(self, monkeypatch):
+        from repro.bench import bench_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestRun:
+    @pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+    def test_all_paper_algorithms_run(self, algorithm):
+        record = run(
+            RunConfig(algorithm=algorithm, workload="dblp", theta=0.2,
+                      num_partitions=4)
+        )
+        assert record.wall_seconds > 0
+        assert record.result_count >= 0
+        assert set(record.simulated) == set(DEFAULT_CLUSTERS)
+        assert all(v > 0 for v in record.simulated.values())
+
+    def test_algorithms_agree_on_result_count(self):
+        counts = {
+            algorithm: run(
+                RunConfig(algorithm=algorithm, workload="dblp", theta=0.3,
+                          num_partitions=4)
+            ).result_count
+            for algorithm in PAPER_ALGORITHMS
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run(RunConfig(algorithm="nope", workload="dblp", theta=0.2))
+
+    def test_default_delta_rule(self):
+        assert default_delta(6000, 0.4) == int(6000 * 0.026)
+        assert default_delta(10, 0.1) == 10  # floor
+
+    def test_config_label(self):
+        config = RunConfig(algorithm="cl", workload="dblp", theta=0.2)
+        assert config.label() == "cl/dblp/theta=0.2"
+
+
+class TestRunSeries:
+    def test_values_align_with_thetas(self):
+        series = run_series("vj", "dblp", [0.1, 0.2], num_partitions=4)
+        assert series.xs == [0.1, 0.2]
+        values = series.values("wall")
+        assert len(values) == 2
+        assert all(v > 0 for v in values)
+
+    def test_simulated_metric(self):
+        series = run_series("vj", "dblp", [0.1], num_partitions=4)
+        assert series.values("simulated", cluster="nodes4")[0] > 0
+
+    def test_budget_marks_dnf_and_skips_rest(self):
+        series = run_series(
+            "vj", "dblp", [0.1, 0.2, 0.3], budget_seconds=0.0,
+            num_partitions=4,
+        )
+        values = series.values("wall")
+        assert values == [None, None, None]
+        # Only the first cell actually ran; the rest were skipped.
+        assert series.records[1] is None
+        assert series.records[2] is None
+        assert series.records[0].dnf
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "DNF"
+        assert format_cell(123.4) == "123"
+        assert format_cell(2.5) == "2.50"
+        assert format_cell(0.1234) == "0.123"
+
+    def test_series_table_contains_everything(self):
+        table = format_series_table(
+            "Fig X", "theta", [0.1, 0.2], {"vj": [1.0, None]}
+        )
+        assert "Fig X" in table
+        assert "DNF" in table
+        assert "0.1" in table and "0.2" in table
+
+    def test_series_table_length_mismatch(self):
+        with pytest.raises(ValueError, match="values"):
+            format_series_table("t", "x", [1, 2], {"a": [1.0]})
+
+    def test_markdown_table(self):
+        markdown = format_markdown_table("theta", [0.1], {"cl": [0.5]})
+        assert markdown.splitlines()[0] == "| theta | 0.1 |"
+        assert "| cl | 0.500 |" in markdown
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(None, 2.0) is None
+        assert speedup(10.0, None) is None
+
+    def test_growth_factor(self):
+        assert growth_factor([1.0, 2.0, 8.0]) == 8.0
+        assert growth_factor([None, 2.0, 4.0]) == 2.0
+        assert growth_factor([1.0]) is None

@@ -1,0 +1,150 @@
+"""Unit tests for the filter bounds (known values and paper examples)."""
+
+import pytest
+
+from repro.rankings import (
+    min_footrule_at_overlap,
+    min_footrule_disjoint_prefix,
+    min_overlap,
+    normalize_threshold,
+    ordered_prefix_size,
+    overlap_prefix_size,
+    passes_position_filter,
+    position_filter_bound,
+    raw_threshold,
+)
+from repro.rankings.bounds import jaccard_min_overlap, jaccard_prefix_size
+
+
+class TestThresholdConversion:
+    def test_raw_threshold_k10(self):
+        assert raw_threshold(0.3, 10) == pytest.approx(33.0)
+
+    def test_roundtrip(self):
+        assert normalize_threshold(raw_threshold(0.25, 8), 8) == pytest.approx(0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            raw_threshold(-0.1, 10)
+
+
+class TestMinFootruleAtOverlap:
+    def test_full_overlap_is_zero(self):
+        assert min_footrule_at_overlap(10, 10) == 0
+
+    def test_disjoint_is_maximum(self):
+        assert min_footrule_at_overlap(10, 0) == 110
+
+    def test_one_private_item_each(self):
+        # k=5, overlap 4: one private item per side, cheapest at the last
+        # rank: (5-4) twice = 2.
+        assert min_footrule_at_overlap(5, 4) == 2
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            min_footrule_at_overlap(5, 6)
+
+
+class TestMinOverlap:
+    def test_known_value_theta03_k10(self):
+        # theta_raw = 33: o = ceil(0.5*(21 - sqrt(133))) = 5.
+        assert min_overlap(33, 10) == 5
+
+    def test_zero_threshold_requires_full_overlap(self):
+        assert min_overlap(0, 10) == 10
+
+    def test_huge_threshold_requires_nothing(self):
+        assert min_overlap(110, 10) == 0
+
+    def test_monotone_decreasing_in_theta(self):
+        values = [min_overlap(t, 10) for t in range(0, 111)]
+        assert values == sorted(values, reverse=True)
+
+    def test_consistency_with_min_footrule(self):
+        """o = min_overlap(t) iff overlapping o-1 items forces distance > t."""
+        k = 10
+        for theta_raw in range(0, 111, 7):
+            o = min_overlap(theta_raw, k)
+            if o > 0:
+                assert min_footrule_at_overlap(k, o - 1) > theta_raw
+            assert min_footrule_at_overlap(k, o) <= theta_raw or o == k
+
+
+class TestOverlapPrefix:
+    def test_known_value_theta03_k10(self):
+        assert overlap_prefix_size(33, 10) == 6
+
+    def test_zero_threshold_prefix_one(self):
+        assert overlap_prefix_size(0, 10) == 1
+
+    def test_max_threshold_full_prefix(self):
+        assert overlap_prefix_size(110, 10) == 10
+
+    def test_monotone_increasing_in_theta(self):
+        values = [overlap_prefix_size(t, 10) for t in range(0, 111)]
+        assert values == sorted(values)
+
+
+class TestOrderedPrefix:
+    def test_lemma_example_k5(self):
+        """Figure 1: k=5, p=2 rankings have minimum distance L = 8."""
+        assert min_footrule_disjoint_prefix(2, 5) == 8
+
+    def test_prefix_just_below_lemma_bound(self):
+        # theta_raw = 8 = L(2,5): distance 8 is achievable with disjoint
+        # 2-prefixes, so the safe prefix must be 3.
+        assert ordered_prefix_size(8, 5) == 3
+
+    def test_prefix_below_bound(self):
+        # theta_raw = 7 < 8: disjoint 2-prefixes impossible -> prefix 2 is
+        # enough... the formula still returns floor(sqrt(3.5)) + 1 = 2.
+        assert ordered_prefix_size(7, 5) == 2
+
+    def test_falls_back_to_k_beyond_validity(self):
+        # Lemma 4.1 only holds for theta_raw < k^2 / 2.
+        assert ordered_prefix_size(13, 5) == 5
+
+    def test_tighter_or_equal_to_overlap_prefix_in_regime(self):
+        k = 10
+        for theta_raw in range(0, k * k // 2):
+            assert ordered_prefix_size(theta_raw, k) <= overlap_prefix_size(
+                theta_raw, k
+            ) + 1  # "slightly tighter" (Section 4) -- allow off-by-one slack
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            min_footrule_disjoint_prefix(-1, 5)
+
+
+class TestPositionFilter:
+    def test_bound_is_half_threshold(self):
+        assert position_filter_bound(33) == 16.5
+
+    def test_passes_at_bound(self):
+        assert passes_position_filter(0, 16, 33)
+        assert not passes_position_filter(0, 17, 33)
+
+    def test_symmetric_in_ranks(self):
+        assert passes_position_filter(9, 2, 20) == passes_position_filter(2, 9, 20)
+
+
+class TestJaccardBounds:
+    def test_zero_distance_needs_full_overlap(self):
+        assert jaccard_min_overlap(0.0, 10) == 10
+
+    def test_full_distance_needs_nothing(self):
+        assert jaccard_min_overlap(1.0, 10) == 0
+
+    def test_half_distance(self):
+        # similarity 0.5: o >= 2*10*0.5 / 1.5 = 6.67 -> 7.
+        assert jaccard_min_overlap(0.5, 10) == 7
+
+    def test_prefix_complement(self):
+        assert jaccard_prefix_size(0.5, 10) == 4
+
+    def test_prefix_full_at_distance_one(self):
+        assert jaccard_prefix_size(1.0, 10) == 10
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            jaccard_min_overlap(1.5, 10)

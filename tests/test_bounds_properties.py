@@ -1,0 +1,97 @@
+"""Property tests: the filter bounds never prune a true result.
+
+These are the completeness guarantees every join algorithm relies on; a
+violation here would mean missing result pairs, so they get the heaviest
+hypothesis budget in the suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rankings import (
+    Ranking,
+    footrule,
+    item_frequencies,
+    min_footrule_at_overlap,
+    min_overlap,
+    order_ranking,
+    ordered_prefix_size,
+    overlap_prefix_size,
+    position_filter_bound,
+)
+
+K = 6
+DOMAIN = list(range(14))
+
+pair = st.tuples(
+    st.permutations(DOMAIN).map(lambda p: Ranking(0, p[:K])),
+    st.permutations(DOMAIN).map(lambda p: Ranking(1, p[:K])),
+)
+
+
+@settings(max_examples=300)
+@given(pair, st.integers(min_value=0, max_value=K * (K + 1)))
+def test_min_overlap_is_complete(pair_of_rankings, theta_raw):
+    """d <= theta forces at least min_overlap shared items."""
+    a, b = pair_of_rankings
+    if footrule(a, b) <= theta_raw:
+        assert len(a.domain & b.domain) >= min_overlap(theta_raw, K)
+
+
+@settings(max_examples=300)
+@given(pair)
+def test_min_footrule_at_overlap_is_a_lower_bound(pair_of_rankings):
+    a, b = pair_of_rankings
+    overlap = len(a.domain & b.domain)
+    assert footrule(a, b) >= min_footrule_at_overlap(K, overlap)
+
+
+@settings(max_examples=300)
+@given(pair, st.integers(min_value=0, max_value=K * (K + 1) - 1))
+def test_overlap_prefixes_of_results_intersect(pair_of_rankings, theta_raw):
+    """The prefix-filter theorem under the canonical frequency order.
+
+    Only holds below the maximum distance: at theta_raw = k(k+1) even
+    item-disjoint rankings qualify and no prefix can intersect — the
+    degenerate regime the joins handle with an explicit exhaustive
+    fallback (see ``admits_disjoint_pairs``).
+    """
+    a, b = pair_of_rankings
+    if footrule(a, b) > theta_raw:
+        return
+    frequencies = item_frequencies([a, b])
+    p = overlap_prefix_size(theta_raw, K)
+    prefix_a = {item for item, _ in order_ranking(a, frequencies).prefix(p)}
+    prefix_b = {item for item, _ in order_ranking(b, frequencies).prefix(p)}
+    assert prefix_a & prefix_b
+
+
+@settings(max_examples=300)
+@given(pair, st.integers(min_value=0, max_value=K * K // 2 - 1))
+def test_ordered_prefixes_of_results_intersect(pair_of_rankings, theta_raw):
+    """Lemma 4.1: rank-order prefixes of size p_o must share an item."""
+    a, b = pair_of_rankings
+    if footrule(a, b) > theta_raw:
+        return
+    p = ordered_prefix_size(theta_raw, K)
+    assert set(a.items[:p]) & set(b.items[:p])
+
+
+@settings(max_examples=300)
+@given(pair, st.integers(min_value=0, max_value=K * (K + 1)))
+def test_position_filter_is_sound(pair_of_rankings, theta_raw):
+    """A shared item displaced beyond theta/2 proves d > theta."""
+    a, b = pair_of_rankings
+    bound = position_filter_bound(theta_raw)
+    for item in a.domain & b.domain:
+        if abs(a.rank_of(item) - b.rank_of(item)) > bound:
+            assert footrule(a, b) > theta_raw
+            return
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=500))
+def test_prefix_sizes_within_k(k, theta_raw):
+    assert 1 <= overlap_prefix_size(theta_raw, k) <= k
+    assert 1 <= ordered_prefix_size(theta_raw, k) <= k
+    assert 0 <= min_overlap(theta_raw, k) <= k

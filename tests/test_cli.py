@@ -1,0 +1,101 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.rankings import RankingDataset
+
+
+@pytest.fixture
+def dataset_file(tmp_path, small_dblp):
+    path = tmp_path / "data.txt"
+    small_dblp.save(path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "generated.txt"
+        code = main(
+            ["generate", "dblp", "--size-factor", "0.05", "-o", str(out)]
+        )
+        assert code == 0
+        dataset = RankingDataset.load(out)
+        assert dataset.k == 10
+        assert "wrote" in capsys.readouterr().out
+
+    def test_scale(self, tmp_path):
+        base = tmp_path / "x1.txt"
+        grown = tmp_path / "x3.txt"
+        main(["generate", "dblp", "--size-factor", "0.05", "-o", str(base)])
+        main(["generate", "dblp", "--size-factor", "0.05", "--scale", "3",
+              "-o", str(grown)])
+        assert len(RankingDataset.load(grown)) == 3 * len(
+            RankingDataset.load(base)
+        )
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "-o", str(tmp_path / "x.txt")])
+
+
+class TestJoin:
+    def test_join_to_stdout(self, dataset_file, capsys, small_dblp):
+        from repro.joins import bruteforce_join
+
+        code = main(
+            ["join", dataset_file, "--theta", "0.2", "--algorithm", "vj"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        printed = {
+            tuple(map(int, line.split()[:2]))
+            for line in out.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert printed == bruteforce_join(small_dblp, 0.2).pair_set()
+
+    def test_join_to_file(self, dataset_file, tmp_path):
+        out = tmp_path / "pairs.txt"
+        main(
+            ["join", dataset_file, "--theta", "0.2", "--algorithm", "cl",
+             "-o", str(out)]
+        )
+        content = out.read_text().strip()
+        if content:
+            for line in content.splitlines():
+                i, j, d = line.split()
+                assert int(i) < int(j)
+                assert int(d) >= 0
+
+    def test_clp_suggests_delta(self, dataset_file, capsys):
+        code = main(
+            ["join", dataset_file, "--theta", "0.2", "--algorithm", "cl-p"]
+        )
+        assert code == 0
+        assert "suggestion" in capsys.readouterr().out
+
+    def test_algorithms_agree_via_cli(self, dataset_file, capsys):
+        outputs = []
+        for algorithm in ("vj", "cl"):
+            main(["join", dataset_file, "--theta", "0.3",
+                  "--algorithm", algorithm])
+            out = capsys.readouterr().out
+            outputs.append(
+                {line.rsplit(" ", 1)[0] for line in out.splitlines() if line}
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestStats:
+    def test_prints_everything(self, dataset_file, capsys):
+        code = main(["stats", dataset_file, "--theta", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for needle in ("zipf-skew", "prefix", "eq4", "delta", "clusters"):
+            assert needle in out
+
+    def test_module_entry_point_exists(self):
+        import importlib.util
+
+        assert importlib.util.find_spec("repro.__main__") is not None

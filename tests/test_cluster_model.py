@@ -1,0 +1,107 @@
+"""The cluster cost model: makespan scheduling and job simulation."""
+
+import pytest
+
+from repro.minispark import (
+    TABLE3_CONFIG,
+    ClusterConfig,
+    ClusterModel,
+    Context,
+    CostModel,
+)
+from repro.minispark.metrics import JobMetrics
+
+
+class TestClusterConfig:
+    def test_table3_defaults(self):
+        """Table 3: 24 executor instances x 5 cores, 8 GB / 12 GB memory."""
+        assert TABLE3_CONFIG.executor_instances == 24
+        assert TABLE3_CONFIG.executor_cores == 5
+        assert TABLE3_CONFIG.executor_memory_gb == 8
+        assert TABLE3_CONFIG.driver_memory_gb == 12
+        assert TABLE3_CONFIG.slots == 120
+
+    def test_for_nodes_figure7_shape(self):
+        """Figure 7 reduces to 3 cores per executor, count left to YARN."""
+        four = ClusterConfig.for_nodes(4)
+        eight = ClusterConfig.for_nodes(8)
+        assert four.executor_cores == 3
+        assert eight.slots == 2 * four.slots
+
+
+class TestMakespan:
+    def test_single_slot_is_sum(self):
+        assert ClusterModel.makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_slots_is_max(self):
+        assert ClusterModel.makespan([1.0, 2.0, 3.0], 10) == 3.0
+
+    def test_lpt_two_slots(self):
+        # 3,3,2,2 on 2 slots: LPT gives {3,2} {3,2} -> 5.
+        assert ClusterModel.makespan([3.0, 3.0, 2.0, 2.0], 2) == 5.0
+
+    def test_empty_tasks(self):
+        assert ClusterModel.makespan([], 4) == 0.0
+
+    def test_monotone_in_slots(self):
+        tasks = [0.5, 1.5, 0.7, 2.0, 0.1, 0.9]
+        values = [ClusterModel.makespan(tasks, s) for s in range(1, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_never_below_max_task(self):
+        tasks = [5.0, 0.1, 0.1]
+        assert ClusterModel.makespan(tasks, 100) == 5.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            ClusterModel.makespan([1.0], 0)
+
+
+class TestSimulate:
+    def test_stage_seconds_components(self):
+        model = ClusterModel(
+            ClusterConfig(num_nodes=1, executor_instances=1, executor_cores=1),
+            CostModel(
+                task_latency_seconds=0.1,
+                shuffle_record_seconds=0.01,
+                stage_overhead_seconds=1.0,
+            ),
+        )
+        # One slot: makespan = (1 + 0.1) + (2 + 0.1); network = 100 * 0.01.
+        assert model.stage_seconds([1.0, 2.0], 100) == pytest.approx(
+            1.0 + 3.2 + 1.0
+        )
+
+    def test_more_nodes_cheaper_network(self):
+        cost = CostModel(shuffle_record_seconds=0.001)
+        slow = ClusterModel(ClusterConfig(num_nodes=1), cost)
+        fast = ClusterModel(ClusterConfig(num_nodes=10), cost)
+        assert fast.stage_seconds([], 1000) < slow.stage_seconds([], 1000)
+
+    def test_simulate_sums_stages(self):
+        model = ClusterModel(ClusterConfig())
+        job = JobMetrics("j")
+        stage_a = job.new_stage("a")
+        stage_a.task_seconds.append(1.0)
+        stage_b = job.new_stage("b")
+        stage_b.task_seconds.append(2.0)
+        assert model.simulate(job) == pytest.approx(
+            model.stage_seconds([1.0], 0) + model.stage_seconds([2.0], 0)
+        )
+
+    def test_context_simulated_seconds(self):
+        ctx = Context(4)
+        ctx.parallelize(range(100), 4).map(lambda x: x * x).collect()
+        default = ctx.simulated_seconds()
+        tiny = ctx.simulated_seconds(
+            ClusterConfig(num_nodes=1, executor_instances=1, executor_cores=1)
+        )
+        assert default > 0
+        assert tiny >= default
+
+    def test_scaling_with_many_heavy_tasks(self):
+        """More slots must shorten a stage of many equal tasks."""
+        tasks = [0.1] * 64
+        four = ClusterModel(ClusterConfig.for_nodes(4)).stage_seconds(tasks, 0)
+        eight = ClusterModel(ClusterConfig.for_nodes(8)).stage_seconds(tasks, 0)
+        assert eight < four

@@ -1,0 +1,52 @@
+"""Property tests for the makespan scheduler of the cluster model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.minispark import ClusterModel
+
+tasks = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40
+)
+slots = st.integers(min_value=1, max_value=16)
+
+
+@given(tasks, slots)
+def test_makespan_bounded_below(task_seconds, num_slots):
+    """Makespan >= max(total / slots, longest task) — the LP lower bound."""
+    result = ClusterModel.makespan(task_seconds, num_slots)
+    total = sum(task_seconds)
+    longest = max(task_seconds, default=0.0)
+    assert result >= max(total / num_slots, longest) - 1e-9
+
+
+@given(tasks, slots)
+def test_makespan_bounded_above_by_total(task_seconds, num_slots):
+    result = ClusterModel.makespan(task_seconds, num_slots)
+    assert result <= sum(task_seconds) + 1e-9
+
+
+@given(tasks, slots)
+def test_makespan_graham_upper_bound(task_seconds, num_slots):
+    """Graham's list-scheduling bound: makespan <= total/m + p_max."""
+    result = ClusterModel.makespan(task_seconds, num_slots)
+    bound = sum(task_seconds) / num_slots + max(task_seconds, default=0.0)
+    assert result <= bound + 1e-9
+
+
+@given(tasks)
+def test_makespan_monotone_in_slots(task_seconds):
+    values = [
+        ClusterModel.makespan(task_seconds, s) for s in range(1, 9)
+    ]
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier + 1e-9
+
+
+@given(tasks, slots, st.floats(min_value=0.1, max_value=3.0))
+def test_makespan_scales_linearly(task_seconds, num_slots, factor):
+    base = ClusterModel.makespan(task_seconds, num_slots)
+    scaled = ClusterModel.makespan(
+        [t * factor for t in task_seconds], num_slots
+    )
+    assert abs(scaled - base * factor) <= 1e-6 * max(1.0, base * factor)

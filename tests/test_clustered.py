@@ -1,0 +1,155 @@
+"""The CL / CL-P algorithms against the brute-force truth."""
+
+import pytest
+
+from repro.joins import bruteforce_join, cl_join, clp_join
+from repro.minispark import Context
+
+THETAS = (0.1, 0.2, 0.3, 0.4)
+
+
+@pytest.fixture
+def truth_dblp(small_dblp):
+    return {
+        theta: bruteforce_join(small_dblp, theta).pair_set()
+        for theta in THETAS
+    }
+
+
+class TestCLCorrectness:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_default_configuration(self, small_dblp, truth_dblp, theta):
+        result = cl_join(Context(4), small_dblp, theta)
+        assert result.pair_set() == truth_dblp[theta]
+
+    @pytest.mark.parametrize("theta_c", (0.0, 0.01, 0.03, 0.06, 0.1))
+    def test_clustering_threshold_sweep(self, small_dblp, theta_c):
+        truth = bruteforce_join(small_dblp, 0.2).pair_set()
+        result = cl_join(Context(4), small_dblp, 0.2, theta_c=theta_c)
+        assert result.pair_set() == truth
+
+    def test_theta_c_equal_theta_boundary(self, small_dblp):
+        """2 * theta_c > theta: member pairs must be verified, not assumed."""
+        truth = bruteforce_join(small_dblp, 0.1).pair_set()
+        result = cl_join(Context(4), small_dblp, 0.1, theta_c=0.1)
+        assert result.pair_set() == truth
+
+    def test_indexed_variant(self, small_dblp, truth_dblp):
+        result = cl_join(Context(4), small_dblp, 0.3, variant="index")
+        assert result.pair_set() == truth_dblp[0.3]
+
+    def test_paper_singleton_prefix(self, small_dblp, truth_dblp):
+        result = cl_join(
+            Context(4), small_dblp, 0.3, singleton_prefix="paper"
+        )
+        assert result.pair_set() == truth_dblp[0.3]
+
+    def test_without_triangle_accept(self, small_dblp, truth_dblp):
+        result = cl_join(Context(4), small_dblp, 0.3, triangle_accept=False)
+        assert result.pair_set() == truth_dblp[0.3]
+
+    def test_without_position_filter(self, small_dblp, truth_dblp):
+        result = cl_join(
+            Context(4), small_dblp, 0.1, use_position_filter=False
+        )
+        assert result.pair_set() == truth_dblp[0.1]
+
+    @pytest.mark.parametrize("num_partitions", (1, 5, 16))
+    def test_partition_count_invariance(
+        self, small_dblp, truth_dblp, num_partitions
+    ):
+        result = cl_join(
+            Context(4), small_dblp, 0.3, num_partitions=num_partitions
+        )
+        assert result.pair_set() == truth_dblp[0.3]
+
+    def test_orku_profile(self, small_orku):
+        truth = bruteforce_join(small_orku, 0.3).pair_set()
+        assert cl_join(Context(4), small_orku, 0.3).pair_set() == truth
+
+    def test_medium_dataset(self, medium_dblp):
+        truth = bruteforce_join(medium_dblp, 0.4).pair_set()
+        assert cl_join(Context(4), medium_dblp, 0.4).pair_set() == truth
+
+
+class TestCLP:
+    @pytest.mark.parametrize("delta", (2, 5, 25, 10**6))
+    def test_any_delta_is_exact(self, small_dblp, delta):
+        truth = bruteforce_join(small_dblp, 0.3).pair_set()
+        result = clp_join(
+            Context(4), small_dblp, 0.3, partition_threshold=delta
+        )
+        assert result.pair_set() == truth
+
+    def test_algorithm_names(self, small_dblp):
+        assert cl_join(Context(4), small_dblp, 0.2).algorithm == "cl"
+        clp = clp_join(Context(4), small_dblp, 0.2, partition_threshold=10)
+        assert clp.algorithm == "cl-p"
+
+    def test_repartitioning_happens_in_joining_phase(self, small_dblp):
+        result = clp_join(
+            Context(4), small_dblp, 0.4, partition_threshold=3
+        )
+        assert result.stats.repartitioned_groups > 0
+
+
+class TestCLInternals:
+    def test_cluster_counters(self, small_dblp):
+        result = cl_join(Context(4), small_dblp, 0.2)
+        assert result.stats.clusters > 0
+        assert result.stats.singletons > 0
+        assert result.stats.cluster_members >= result.stats.clusters
+        assert (
+            result.stats.clusters + result.stats.singletons <= len(small_dblp)
+        )
+
+    def test_larger_theta_c_forms_more_clusters(self, small_dblp):
+        small = cl_join(Context(4), small_dblp, 0.3, theta_c=0.01)
+        large = cl_join(Context(4), small_dblp, 0.3, theta_c=0.08)
+        assert large.stats.clusters >= small.stats.clusters
+        assert large.stats.singletons <= small.stats.singletons
+
+    def test_triangle_shortcuts_recorded(self, small_dblp):
+        result = cl_join(Context(4), small_dblp, 0.3)
+        assert result.stats.triangle_accepted > 0
+
+    def test_phase_timings(self, small_dblp):
+        result = cl_join(Context(4), small_dblp, 0.2)
+        assert set(result.phase_seconds) == {
+            "ordering",
+            "clustering",
+            "joining",
+            "expansion",
+        }
+
+    def test_unverified_pairs_marked_none_then_fillable(self, small_dblp):
+        from repro.rankings import footrule
+
+        result = cl_join(Context(4), small_dblp, 0.3)
+        assert any(d is None for _i, _j, d in result.pairs)
+        filled = result.with_distances(small_dblp)
+        by_id = small_dblp.by_id()
+        for i, j, d in filled.pairs:
+            assert d == footrule(by_id[i], by_id[j])
+
+    def test_verified_distances_correct(self, small_dblp):
+        from repro.rankings import footrule
+
+        by_id = small_dblp.by_id()
+        for i, j, d in cl_join(Context(4), small_dblp, 0.3).pairs:
+            if d is not None:
+                assert d == footrule(by_id[i], by_id[j])
+
+
+class TestCLValidation:
+    def test_theta_c_above_theta_rejected(self, small_dblp):
+        with pytest.raises(ValueError, match="theta_c"):
+            cl_join(Context(4), small_dblp, 0.1, theta_c=0.2)
+
+    def test_unknown_singleton_prefix_rejected(self, small_dblp):
+        with pytest.raises(ValueError, match="singleton_prefix"):
+            cl_join(Context(4), small_dblp, 0.2, singleton_prefix="weird")
+
+    def test_unknown_variant_rejected(self, small_dblp):
+        with pytest.raises(ValueError, match="variant"):
+            cl_join(Context(4), small_dblp, 0.2, variant="weird")

@@ -1,0 +1,213 @@
+"""White-box tests of the CL algorithm's building blocks (Section 5)."""
+
+import pytest
+
+from repro.joins.clustered import (
+    _expand_member_centroid,
+    _expand_member_member,
+    _pair_threshold,
+    _same_cluster_pairs,
+    _typed_value,
+)
+from repro.joins.types import JoinStats
+from repro.rankings import Ranking, item_frequencies, order_ranking
+
+
+def _ordered(rid, items):
+    ranking = Ranking(rid, items)
+    return order_ranking(ranking, item_frequencies([ranking]))
+
+
+class TestPairThreshold:
+    """Lemma 5.3's three cases."""
+
+    def test_both_non_singleton(self):
+        assert _pair_threshold(False, False, 20, 3) == 26
+
+    def test_mixed(self):
+        assert _pair_threshold(True, False, 20, 3) == 23
+        assert _pair_threshold(False, True, 20, 3) == 23
+
+    def test_both_singleton(self):
+        assert _pair_threshold(True, True, 20, 3) == 20
+
+
+class TestTypedValue:
+    def test_orders_by_rid(self):
+        low = _ordered(1, [1, 2, 3])
+        high = _ordered(9, [4, 5, 6])
+        key, (d, s_first, first, s_second, second) = _typed_value(
+            high, True, low, False, 12
+        )
+        assert key == (1, 9)
+        assert first is low and second is high
+        assert (s_first, s_second) == (False, True)
+        assert d == 12
+
+
+class TestSameClusterPairs:
+    def _members(self):
+        a = _ordered(1, [1, 2, 3, 4, 5])
+        b = _ordered(2, [1, 2, 3, 4, 5])
+        c = _ordered(3, [2, 1, 3, 4, 5])
+        return [(a, 0), (b, 0), (c, 2)]
+
+    def test_certain_regime_emits_unverified(self):
+        """2 * theta_c <= theta: pairs emitted with distance None."""
+        stats = JoinStats()
+        pairs = list(
+            _same_cluster_pairs(self._members(), theta_raw=10, theta_c_raw=2,
+                                stats=stats)
+        )
+        assert {(p, d) for p, d in pairs} == {
+            ((1, 2), None), ((1, 3), None), ((2, 3), None),
+        }
+        assert stats.triangle_accepted == 3
+        assert stats.verified == 0
+
+    def test_uncertain_regime_verifies(self):
+        """2 * theta_c > theta: pairs must be verified against theta."""
+        stats = JoinStats()
+        pairs = dict(
+            _same_cluster_pairs(self._members(), theta_raw=1, theta_c_raw=2,
+                                stats=stats)
+        )
+        # a~b identical (0 <= 1); a~c and b~c are one swap = 2 > 1.
+        assert pairs == {(1, 2): 0}
+        assert stats.verified == 3
+
+
+class TestExpandMemberCentroid:
+    def _cluster(self):
+        member = _ordered(5, [1, 2, 3, 4, 5])
+        return [(member, 4)]
+
+    def test_triangle_prune(self):
+        """|d(c,o) - d(m,c)| > theta: impossible pair, never verified."""
+        other = _ordered(9, [9, 8, 7, 6, 1])
+        stats = JoinStats()
+        out = list(
+            _expand_member_centroid(
+                self._cluster(), (other, 30), theta_raw=10, stats=stats,
+                triangle_accept=True,
+            )
+        )
+        assert out == []
+        assert stats.triangle_filtered == 1
+        assert stats.verified == 0
+
+    def test_triangle_accept(self):
+        """d(c,o) + d(m,c) <= theta: certain result, no verification."""
+        other = _ordered(9, [1, 2, 3, 4, 5])
+        stats = JoinStats()
+        out = list(
+            _expand_member_centroid(
+                self._cluster(), (other, 2), theta_raw=10, stats=stats,
+                triangle_accept=True,
+            )
+        )
+        assert out == [((5, 9), None)]
+        assert stats.triangle_accepted == 1
+
+    def test_accept_disabled_verifies(self):
+        other = _ordered(9, [1, 2, 3, 4, 5])
+        stats = JoinStats()
+        out = list(
+            _expand_member_centroid(
+                self._cluster(), (other, 2), theta_raw=10, stats=stats,
+                triangle_accept=False,
+            )
+        )
+        assert out == [((5, 9), 0)]
+        assert stats.verified == 1
+
+    def test_self_pair_skipped(self):
+        member = _ordered(5, [1, 2, 3, 4, 5])
+        stats = JoinStats()
+        out = list(
+            _expand_member_centroid(
+                [(member, 3)], (member, 3), theta_raw=10, stats=stats,
+                triangle_accept=True,
+            )
+        )
+        assert out == []
+
+
+class TestExpandMemberMember:
+    def test_lower_bound_prune(self):
+        member_i = _ordered(1, [1, 2, 3, 4, 5])
+        member_j = _ordered(2, [9, 8, 7, 6, 0])
+        stats = JoinStats()
+        out = list(
+            _expand_member_member(
+                (member_i, 1, 40), [(member_j, 1)], theta_raw=10,
+                stats=stats, triangle_accept=True,
+            )
+        )
+        assert out == []
+        assert stats.triangle_filtered == 1
+
+    def test_upper_bound_accept(self):
+        member_i = _ordered(1, [1, 2, 3, 4, 5])
+        member_j = _ordered(2, [1, 2, 3, 5, 4])
+        stats = JoinStats()
+        out = list(
+            _expand_member_member(
+                (member_i, 2, 4), [(member_j, 2)], theta_raw=10,
+                stats=stats, triangle_accept=True,
+            )
+        )
+        assert out == [((1, 2), None)]
+        assert stats.triangle_accepted == 1
+
+    def test_verification_between_bounds(self):
+        member_i = _ordered(1, [1, 2, 3, 4, 5])
+        member_j = _ordered(2, [2, 1, 3, 4, 5])  # distance 2
+        stats = JoinStats()
+        out = list(
+            _expand_member_member(
+                (member_i, 3, 6), [(member_j, 3)], theta_raw=4,
+                stats=stats, triangle_accept=True,
+            )
+        )
+        assert out == [((1, 2), 2)]
+        assert stats.verified == 1
+
+    def test_self_pair_skipped(self):
+        member = _ordered(1, [1, 2, 3, 4, 5])
+        stats = JoinStats()
+        out = list(
+            _expand_member_member(
+                (member, 1, 2), [(member, 1)], theta_raw=10, stats=stats,
+                triangle_accept=True,
+            )
+        )
+        assert out == []
+
+
+class TestClusterScenario:
+    """A hand-built dataset where the cluster structure is fully known."""
+
+    def _dataset(self):
+        from repro.rankings import RankingDataset
+
+        return RankingDataset(
+            [
+                Ranking(0, [1, 2, 3, 4, 5]),   # centroid of the family
+                Ranking(1, [1, 2, 3, 4, 5]),   # duplicate -> member of 0
+                Ranking(2, [2, 1, 3, 4, 5]),   # one swap  -> member of 0
+                Ranking(3, [9, 8, 7, 6, 0]),   # far away  -> singleton
+            ]
+        )
+
+    def test_cluster_structure(self):
+        from repro.joins import cl_join
+        from repro.minispark import Context
+
+        result = cl_join(
+            Context(2), self._dataset(), theta=0.3, theta_c=0.1
+        )
+        # theta_c raw = 3: pairs (0,1) d=0 and (0,2)/(1,2) d=2 all cluster.
+        assert result.stats.clusters >= 1
+        assert result.stats.singletons == 1
+        assert result.pair_set() == {(0, 1), (0, 2), (1, 2)}

@@ -1,0 +1,110 @@
+"""Unit tests for RankingDataset construction and IO."""
+
+import pytest
+
+from repro.rankings import Ranking, RankingDataset
+
+
+class TestConstruction:
+    def test_len_and_iteration(self, tiny_dataset):
+        assert len(tiny_dataset) == 3
+        assert [r.rid for r in tiny_dataset] == [1, 2, 3]
+
+    def test_k_detected(self, tiny_dataset):
+        assert tiny_dataset.k == 5
+
+    def test_indexing(self, tiny_dataset):
+        assert tiny_dataset[0].rid == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RankingDataset([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            RankingDataset([Ranking(0, [1, 2]), Ranking(1, [1, 2, 3])])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            RankingDataset([Ranking(0, [1, 2]), Ranking(0, [3, 4])])
+
+    def test_by_id(self, tiny_dataset):
+        mapping = tiny_dataset.by_id()
+        assert mapping[2].items == (1, 4, 5, 9, 0)
+
+    def test_domain_union(self):
+        ds = RankingDataset([Ranking(0, [1, 2]), Ranking(1, [2, 3])])
+        assert ds.domain == frozenset({1, 2, 3})
+
+    def test_from_rows_assigns_ids(self):
+        ds = RankingDataset.from_rows([[1, 2], [3, 4]], start_id=5)
+        assert [r.rid for r in ds] == [5, 6]
+
+
+class TestSubset:
+    def test_subset_prefix(self, tiny_dataset):
+        sub = tiny_dataset.subset(2)
+        assert len(sub) == 2
+        assert sub[0].rid == 1
+
+    def test_subset_bounds_checked(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.subset(0)
+        with pytest.raises(ValueError):
+            tiny_dataset.subset(4)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "rankings.txt"
+        tiny_dataset.save(path)
+        loaded = RankingDataset.load(path)
+        assert [r.rid for r in loaded] == [r.rid for r in tiny_dataset]
+        assert [r.items for r in loaded] == [r.items for r in tiny_dataset]
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "rankings.txt"
+        path.write_text("0: 1 2\n\n1: 3 4\n")
+        assert len(RankingDataset.load(path)) == 2
+
+
+class TestFromSetsFile:
+    def test_truncates_to_k(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("10 20 30 40 50\n1 2 3\n")
+        ds = RankingDataset.from_sets_file(path, k=3)
+        assert len(ds) == 2
+        assert ds[0].items == (10, 20, 30)
+
+    def test_drops_short_records(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("1 2 3 4\n1 2\n5 6 7\n")
+        ds = RankingDataset.from_sets_file(path, k=3)
+        assert len(ds) == 2
+
+    def test_skips_duplicate_tokens(self, tmp_path):
+        """A repeated token is skipped; later tokens fill the ranking."""
+        path = tmp_path / "sets.txt"
+        path.write_text("7 7 8 9\n")
+        ds = RankingDataset.from_sets_file(path, k=3)
+        assert ds[0].items == (7, 8, 9)
+
+    def test_record_with_too_few_distinct_tokens_dropped(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("7 7 7 7\n1 2 3\n")
+        ds = RankingDataset.from_sets_file(path, k=3)
+        assert len(ds) == 1
+
+    def test_all_short_raises(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError, match="no record"):
+            RankingDataset.from_sets_file(path, k=5)
+
+    def test_custom_token_parser(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("a b c\n")
+        ds = RankingDataset.from_sets_file(
+            path, k=3, parse_token=lambda t: ord(t)
+        )
+        assert ds[0].items == (97, 98, 99)

@@ -1,0 +1,82 @@
+"""The theta >= 1 degenerate regime: disjoint pairs become results.
+
+A hypothesis run discovered that at ``theta_raw = k(k+1)`` item-disjoint
+rankings satisfy the threshold while sharing no token, so no inverted-
+index algorithm can retrieve them.  The joins fall back to the exhaustive
+algorithm there; these tests pin that behaviour.
+"""
+
+import pytest
+
+from repro.joins import (
+    PrefixFilterJoin,
+    bruteforce_join,
+    cl_join,
+    jaccard_bruteforce,
+    jaccard_join,
+    vj_join,
+)
+from repro.minispark import Context
+from repro.rankings import Ranking, RankingDataset
+from repro.rankings.bounds import admits_disjoint_pairs
+
+
+@pytest.fixture
+def disjoint_heavy():
+    """Three mutually disjoint rankings plus one near-duplicate pair."""
+    return RankingDataset(
+        [
+            Ranking(0, [1, 2, 3]),
+            Ranking(1, [4, 5, 6]),
+            Ranking(2, [7, 8, 9]),
+            Ranking(3, [1, 2, 3]),
+        ]
+    )
+
+
+class TestAdmitsDisjointPairs:
+    def test_boundary(self):
+        assert admits_disjoint_pairs(12, 3)        # = k(k+1)
+        assert not admits_disjoint_pairs(11.9, 3)
+        assert not admits_disjoint_pairs(0, 3)
+
+
+class TestFullThresholdJoins:
+    def test_bruteforce_reports_all_pairs(self, disjoint_heavy):
+        result = bruteforce_join(disjoint_heavy, 1.0)
+        assert len(result.pair_set()) == 6  # C(4,2): everything matches
+
+    @pytest.mark.parametrize(
+        "run",
+        [
+            lambda ds: PrefixFilterJoin(1.0).join(ds),
+            lambda ds: vj_join(Context(2), ds, 1.0),
+            lambda ds: vj_join(Context(2), ds, 1.0, variant="nl"),
+            lambda ds: cl_join(Context(2), ds, 1.0),
+        ],
+        ids=["local", "vj", "vj-nl", "cl"],
+    )
+    def test_every_algorithm_falls_back_exactly(self, disjoint_heavy, run):
+        truth = bruteforce_join(disjoint_heavy, 1.0).pair_set()
+        assert run(disjoint_heavy).pair_set() == truth
+
+    def test_cl_guards_theta_o_not_just_theta(self, disjoint_heavy):
+        """theta + 2*theta_c >= 1 already needs the fallback even though
+        theta itself is below 1: a disjoint centroid pair at distance
+        theta_o must be retrievable for Lemma 5.1."""
+        truth = bruteforce_join(disjoint_heavy, 0.95).pair_set()
+        result = cl_join(Context(2), disjoint_heavy, 0.95, theta_c=0.05)
+        assert result.pair_set() == truth
+
+    def test_jaccard_at_distance_one(self, disjoint_heavy):
+        truth = jaccard_bruteforce(disjoint_heavy, 1.0).pair_set()
+        assert len(truth) == 6
+        assert jaccard_join(Context(2), disjoint_heavy, 1.0).pair_set() == truth
+
+    def test_just_below_threshold_keeps_prefix_path(self, disjoint_heavy):
+        """At theta < 1 the disjoint pairs are not results; the prefix
+        machinery stays in charge and stays exact."""
+        truth = bruteforce_join(disjoint_heavy, 0.9).pair_set()
+        result = vj_join(Context(2), disjoint_heavy, 0.9)
+        assert result.pair_set() == truth == {(0, 3)}
+        assert result.algorithm.startswith("vj")

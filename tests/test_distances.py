@@ -1,0 +1,140 @@
+"""Unit tests for the distance functions (hand-computed cases)."""
+
+import pytest
+
+from repro.rankings import (
+    Ranking,
+    footrule,
+    footrule_normalized,
+    footrule_within,
+    jaccard_distance,
+    kendall_tau,
+    max_footrule,
+    max_kendall_tau,
+)
+
+
+class TestFootrule:
+    def test_paper_example_table2(self, paper_rankings):
+        """Section 1.1 computes F(tau1, tau2) = 16 for the Table 2 rankings."""
+        tau1, tau2, _ = paper_rankings
+        assert footrule(tau1, tau2) == 16
+
+    def test_identical_rankings_distance_zero(self):
+        r = Ranking(0, [3, 1, 4, 1 + 4, 9])
+        assert footrule(r, Ranking(1, r.items)) == 0
+
+    def test_disjoint_rankings_reach_maximum(self):
+        a = Ranking(0, [0, 1, 2])
+        b = Ranking(1, [10, 11, 12])
+        assert footrule(a, b) == max_footrule(3) == 12
+
+    def test_symmetry(self, paper_rankings):
+        tau1, _, tau3 = paper_rankings
+        assert footrule(tau1, tau3) == footrule(tau3, tau1)
+
+    def test_single_swap_costs_two(self):
+        a = Ranking(0, [1, 2, 3, 4])
+        b = Ranking(1, [2, 1, 3, 4])
+        assert footrule(a, b) == 2
+
+    def test_one_private_item_per_side(self):
+        # a = [1,2,3], b = [1,2,9]: item 3 costs (3-2)=1 in a, 9 costs 1 in
+        # b; no shared displacement.
+        a = Ranking(0, [1, 2, 3])
+        b = Ranking(1, [1, 2, 9])
+        assert footrule(a, b) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            footrule(Ranking(0, [1, 2]), Ranking(1, [1, 2, 3]))
+
+    def test_max_footrule_formula(self):
+        assert max_footrule(10) == 110
+        assert max_footrule(5) == 30
+
+    def test_max_footrule_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            max_footrule(0)
+
+
+class TestFootruleNormalized:
+    def test_normalized_paper_example(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        assert footrule_normalized(tau1, tau2) == pytest.approx(16 / 30)
+
+    def test_disjoint_normalizes_to_one(self):
+        a = Ranking(0, [0, 1])
+        b = Ranking(1, [5, 6])
+        assert footrule_normalized(a, b) == 1.0
+
+
+class TestFootruleWithin:
+    def test_boundary_inclusive(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        assert footrule_within(tau1, tau2, 16)
+        assert not footrule_within(tau1, tau2, 15.999)
+
+    def test_zero_threshold_only_identical(self):
+        a = Ranking(0, [1, 2, 3])
+        assert footrule_within(a, Ranking(1, [1, 2, 3]), 0)
+        assert not footrule_within(a, Ranking(1, [2, 1, 3]), 0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            footrule_within(Ranking(0, [1]), Ranking(1, [1, 2]), 5)
+
+
+class TestKendallTau:
+    def test_identical_is_zero(self):
+        r = Ranking(0, [1, 2, 3])
+        assert kendall_tau(r, Ranking(1, [1, 2, 3])) == 0
+
+    def test_single_adjacent_swap_costs_one(self):
+        a = Ranking(0, [1, 2, 3])
+        b = Ranking(1, [2, 1, 3])
+        assert kendall_tau(a, b) == 1
+
+    def test_disjoint_reaches_maximum(self):
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [8, 9])
+        assert kendall_tau(a, b, p=0.0) == max_kendall_tau(2, p=0.0) == 4
+
+    def test_penalty_parameter_adds_case4_mass(self):
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [8, 9])
+        # k=2: one within-ranking pair per side, each charged p.
+        assert kendall_tau(a, b, p=0.5) == 4 + 2 * 0.5
+
+    def test_case2_one_item_missing(self):
+        # a orders (1,2); b contains only 2 (and fresh 9).  b implicitly
+        # puts 2 ahead of 1, a puts 1 ahead of 2 -> disagreement.
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [2, 9])
+        # pairs: {1,2}: case2 disagree = 1; {1,9}: case3 = 1; {2,9}: case2,
+        # a has only 2 (a misses 9): b ranks 9 after 2 -> agree = 0.
+        assert kendall_tau(a, b) == 2
+
+    def test_symmetry(self):
+        a = Ranking(0, [1, 2, 5, 7])
+        b = Ranking(1, [2, 9, 1, 4])
+        assert kendall_tau(a, b) == kendall_tau(b, a)
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(Ranking(0, [1]), Ranking(1, [2]), p=1.5)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        a = Ranking(0, [1, 2, 3])
+        b = Ranking(1, [3, 2, 1])  # order irrelevant
+        assert jaccard_distance(a, b) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_distance(Ranking(0, [1]), Ranking(1, [2])) == 1.0
+
+    def test_half_overlap(self):
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [2, 3])
+        assert jaccard_distance(a, b) == pytest.approx(1 - 1 / 3)

@@ -1,0 +1,107 @@
+"""Property-based tests: the Footrule adaptation is a metric, etc."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rankings import (
+    Ranking,
+    footrule,
+    footrule_normalized,
+    footrule_within,
+    jaccard_distance,
+    kendall_tau,
+    max_footrule,
+)
+
+K = 6
+DOMAIN = list(range(14))
+
+
+def ranking_strategy(rid: int):
+    """A random top-K ranking over a small domain (collisions likely)."""
+    return st.permutations(DOMAIN).map(lambda p: Ranking(rid, p[:K]))
+
+
+pair = st.tuples(ranking_strategy(0), ranking_strategy(1))
+triple = st.tuples(ranking_strategy(0), ranking_strategy(1), ranking_strategy(2))
+
+
+@given(pair)
+def test_footrule_non_negative_and_bounded(pair_of_rankings):
+    a, b = pair_of_rankings
+    assert 0 <= footrule(a, b) <= max_footrule(K)
+
+
+@given(pair)
+def test_footrule_symmetric(pair_of_rankings):
+    a, b = pair_of_rankings
+    assert footrule(a, b) == footrule(b, a)
+
+
+@given(ranking_strategy(0))
+def test_footrule_identity(ranking):
+    clone = Ranking(1, ranking.items)
+    assert footrule(ranking, clone) == 0
+
+
+@given(pair)
+def test_footrule_zero_implies_equal_content(pair_of_rankings):
+    a, b = pair_of_rankings
+    if footrule(a, b) == 0:
+        assert a.items == b.items
+
+
+@settings(max_examples=200)
+@given(triple)
+def test_footrule_triangle_inequality(rankings):
+    """The property the whole CL algorithm stands on (Fagin et al. 2003)."""
+    a, b, c = rankings
+    assert footrule(a, c) <= footrule(a, b) + footrule(b, c)
+
+
+@given(pair)
+def test_normalized_footrule_in_unit_interval(pair_of_rankings):
+    a, b = pair_of_rankings
+    assert 0.0 <= footrule_normalized(a, b) <= 1.0
+
+
+@given(pair, st.integers(min_value=0, max_value=max_footrule(K)))
+def test_footrule_within_matches_exact_distance(pair_of_rankings, threshold):
+    a, b = pair_of_rankings
+    assert footrule_within(a, b, threshold) == (footrule(a, b) <= threshold)
+
+
+@given(pair)
+def test_footrule_parity_is_even(pair_of_rankings):
+    """Signed displacements sum to zero, so the total |.| mass is even."""
+    a, b = pair_of_rankings
+    assert footrule(a, b) % 2 == 0
+
+
+@given(pair)
+def test_kendall_symmetric_and_bounded(pair_of_rankings):
+    a, b = pair_of_rankings
+    value = kendall_tau(a, b)
+    assert value == kendall_tau(b, a)
+    assert 0 <= value <= K * K + K * (K - 1)
+
+
+@settings(max_examples=100)
+@given(triple)
+def test_jaccard_triangle_inequality(rankings):
+    a, b, c = rankings
+    assert jaccard_distance(a, c) <= (
+        jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+    )
+
+
+@given(pair)
+def test_footrule_kendall_fagin_relation(pair_of_rankings):
+    """Fagin et al.: K^(0) <= F <= 2 * K^(0) ... the looser sound half.
+
+    The exact constants of the equivalence depend on the variant; we check
+    the direction used in the literature: Footrule is at least the Kendall
+    disagreement count (each disagreement forces a displacement).
+    """
+    a, b = pair_of_rankings
+    assert footrule(a, b) >= kendall_tau(a, b, p=0.0)

@@ -1,0 +1,22 @@
+"""Run the library's docstring examples — documentation must stay true."""
+
+import doctest
+
+import pytest
+
+import repro.joins.api
+import repro.rankings.distances
+import repro.rankings.ranking
+
+MODULES = [
+    repro.rankings.ranking,
+    repro.rankings.distances,
+    repro.joins.api,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

@@ -1,0 +1,85 @@
+"""Failure propagation and guard rails: errors must never pass silently."""
+
+import pytest
+
+from repro.minispark import Context, HashPartitioner
+from repro.minispark.rdd import ShuffledRDD
+
+
+class TestErrorPropagation:
+    def test_map_exception_surfaces_to_action(self, ctx):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("injected failure")
+            return x
+
+        rdd = ctx.parallelize(range(5), 2).map(boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            rdd.collect()
+
+    def test_shuffle_map_side_exception_surfaces(self, ctx):
+        def boom(x):
+            raise ValueError("map-side crash")
+
+        rdd = ctx.parallelize([1], 1).map(boom).map(lambda x: (x, x))
+        with pytest.raises(ValueError, match="map-side crash"):
+            rdd.group_by_key().collect()
+
+    def test_reduce_function_exception_surfaces(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (1, "b")], 1)
+
+        def bad_reduce(_a, _b):
+            raise TypeError("bad combiner")
+
+        with pytest.raises(TypeError, match="bad combiner"):
+            pairs.reduce_by_key(bad_reduce).collect()
+
+    def test_failed_job_does_not_poison_context(self, ctx):
+        rdd = ctx.parallelize(range(3), 1).map(
+            lambda x: 1 / 0
+        )
+        with pytest.raises(ZeroDivisionError):
+            rdd.collect()
+        # The context keeps working for subsequent jobs.
+        assert ctx.parallelize([1, 2], 1).count() == 2
+
+
+class TestGuardRails:
+    def test_shuffled_rdd_requires_scheduler(self, ctx):
+        """Reading a shuffle before materialization is a programming error."""
+        pairs = ctx.parallelize([(1, 2)], 1)
+        shuffled = ShuffledRDD(pairs, HashPartitioner(2))
+        with pytest.raises(RuntimeError, match="not materialized"):
+            list(shuffled.compute(0))
+
+    def test_non_pair_records_fail_in_shuffle(self, ctx):
+        """Shuffling non-(key, value) data is reported, not corrupted."""
+        rdd = ctx.parallelize([1, 2, 3], 1)
+        with pytest.raises((TypeError, IndexError)):
+            rdd.group_by_key().collect()
+
+    def test_context_rejects_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            Context(default_parallelism=0)
+
+
+class TestJoinInputValidation:
+    def test_mixed_k_rejected_before_any_work(self):
+        from repro.rankings import Ranking, RankingDataset
+
+        with pytest.raises(ValueError):
+            RankingDataset([Ranking(0, [1, 2]), Ranking(1, [1, 2, 3])])
+
+    def test_negative_theta_rejected_by_facade(self, small_dblp):
+        from repro import similarity_join
+
+        with pytest.raises(ValueError):
+            similarity_join(small_dblp, -0.5, algorithm="vj")
+
+    def test_corrupt_dataset_file_reports_line(self, tmp_path):
+        from repro.rankings import RankingDataset
+
+        path = tmp_path / "broken.txt"
+        path.write_text("0: 1 2 notanumber\n")
+        with pytest.raises(ValueError):
+            RankingDataset.load(path)

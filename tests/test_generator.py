@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generator and the xN increase method."""
+
+import numpy as np
+import pytest
+
+from repro.rankings import (
+    PROFILES,
+    DatasetProfile,
+    footrule_normalized,
+    generate,
+    increase,
+    make_dataset,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(50, 0.8)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_skew_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestGenerate:
+    def test_profile_shape_respected(self):
+        profile = PROFILES["dblp"]
+        ds = generate(profile, seed=3)
+        assert len(ds) == profile.n
+        assert ds.k == profile.k
+        assert all(0 <= item < profile.domain_size for r in ds for item in r)
+
+    def test_deterministic_per_seed(self):
+        a = generate(PROFILES["orku"], seed=5)
+        b = generate(PROFILES["orku"], seed=5)
+        assert [r.items for r in a] == [r.items for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate(PROFILES["dblp"], seed=1)
+        b = generate(PROFILES["dblp"], seed=2)
+        assert [r.items for r in a] != [r.items for r in b]
+
+    def test_skewed_items_more_frequent(self):
+        ds = generate(PROFILES["dblp"], seed=0)
+        counts: dict = {}
+        for r in ds:
+            for item in r:
+                counts[item] = counts.get(item, 0) + 1
+        low_ids = sum(counts.get(i, 0) for i in range(20))
+        high_ids = sum(counts.get(i, 0) for i in range(2000, 2020))
+        assert low_ids > high_ids * 3
+
+    def test_near_duplicate_families_exist(self):
+        """The template model must create pairs within theta = 0.1."""
+        ds = generate(PROFILES["dblp"], seed=0)
+        close = 0
+        rankings = ds.rankings[:400]
+        for i, a in enumerate(rankings):
+            for b in rankings[i + 1 : i + 50]:
+                if footrule_normalized(a, b) <= 0.1:
+                    close += 1
+        assert close > 0
+
+    def test_invalid_templates_rejected(self):
+        bad = DatasetProfile("bad", 10, 5, 100, 1.0, num_templates=0)
+        with pytest.raises(ValueError):
+            generate(bad)
+
+
+class TestIncrease:
+    def test_factor_one_is_identity(self, small_dblp):
+        assert increase(small_dblp, 1) is small_dblp
+
+    def test_size_multiplied(self, small_dblp):
+        grown = increase(small_dblp, 3, seed=1)
+        assert len(grown) == 3 * len(small_dblp)
+
+    def test_domain_preserved(self, small_dblp):
+        grown = increase(small_dblp, 2, seed=1)
+        assert grown.domain <= small_dblp.domain
+
+    def test_original_records_kept(self, small_dblp):
+        grown = increase(small_dblp, 2, seed=1)
+        original = {(r.rid, r.items) for r in small_dblp}
+        assert original <= {(r.rid, r.items) for r in grown}
+
+    def test_ids_stay_unique(self, small_dblp):
+        grown = increase(small_dblp, 4, seed=1)
+        assert len({r.rid for r in grown}) == len(grown)
+
+    def test_result_grows_roughly_linearly(self):
+        """The paper's xN property: result size ~ linear in dataset size."""
+        from repro.joins import bruteforce_join
+
+        base = make_dataset("dblp", size_factor=0.08, seed=2)
+        r1 = len(bruteforce_join(base, 0.2))
+        r3 = len(bruteforce_join(increase(base, 3, seed=2), 0.2))
+        assert r3 >= 2 * r1
+        assert r3 <= 9 * r1  # far from quadratic (x9 would be ~9x pairs)
+
+    def test_invalid_factor(self, small_dblp):
+        with pytest.raises(ValueError):
+            increase(small_dblp, 0)
+
+
+class TestMakeDataset:
+    def test_known_profiles(self):
+        for name in ("dblp", "orku", "orku25"):
+            ds = make_dataset(name, size_factor=0.05)
+            assert ds.k == PROFILES[name].k
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown dataset profile"):
+            make_dataset("imaginary")
+
+    def test_scale_applies_increase(self):
+        base = make_dataset("dblp", size_factor=0.05, seed=4)
+        scaled = make_dataset("dblp", scale=2, size_factor=0.05, seed=4)
+        assert len(scaled) == 2 * len(base)
+
+    def test_size_factor_scales_n(self):
+        small = make_dataset("dblp", size_factor=0.1)
+        assert len(small) == PROFILES["dblp"].n // 10

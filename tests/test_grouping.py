@@ -1,0 +1,138 @@
+"""The grouped-join skeleton and Algorithm 3's repartitioning mechanics."""
+
+import pytest
+
+from repro.joins.grouping import distinct_pairs, grouped_join
+from repro.joins.types import JoinStats
+from repro.minispark import Context
+
+
+def _tokens(ctx, groups: dict, num_partitions=4):
+    """Build a token RDD from {item: [member, ...]}."""
+    records = [
+        (item, member) for item, members in groups.items() for member in members
+    ]
+    return ctx.parallelize(records, num_partitions)
+
+
+def _pairs_kernel(item, members):
+    """Toy kernel: emit every ordered member pair of the group."""
+    members = sorted(members)
+    for a_index, left in enumerate(members):
+        for right in members[a_index + 1 :]:
+            yield ((left, right), item)
+
+
+def _rs_kernel(item, left_members, right_members):
+    for left in left_members:
+        for right in right_members:
+            if left == right:
+                continue
+            pair = (left, right) if left < right else (right, left)
+            yield (pair, item)
+
+
+class TestGroupedJoinPlain:
+    def test_every_group_joined(self, ctx):
+        tokens = _tokens(ctx, {1: [10, 11, 12], 2: [20, 21]})
+        result = grouped_join(ctx, tokens, 4, _pairs_kernel).collect()
+        pairs = {pair for pair, _item in result}
+        assert pairs == {(10, 11), (10, 12), (11, 12), (20, 21)}
+
+    def test_singleton_groups_emit_nothing(self, ctx):
+        tokens = _tokens(ctx, {1: [10]})
+        assert grouped_join(ctx, tokens, 2, _pairs_kernel).collect() == []
+
+
+class TestRepartitioning:
+    def test_split_groups_still_complete(self, ctx):
+        members = list(range(30))
+        tokens = _tokens(ctx, {7: members})
+        stats = JoinStats()
+        result = grouped_join(
+            ctx, tokens, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=8, stats=stats,
+        ).collect()
+        pairs = {pair for pair, _item in result}
+        expected = {
+            (a, b) for i, a in enumerate(members) for b in members[i + 1 :]
+        }
+        assert pairs == expected
+        assert stats.repartitioned_groups == 1
+
+    def test_no_pair_processed_twice_across_subpartitions(self, ctx):
+        """The subkey_left < subkey_right guard: the R-S join of two
+        sub-partitions runs once per unordered sub-partition pair, so each
+        cross pair appears at most once before deduplication."""
+        members = list(range(25))
+        tokens = _tokens(ctx, {7: members})
+        result = grouped_join(
+            ctx, tokens, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=10,
+        ).collect()
+        pairs = [pair for pair, _item in result]
+        assert len(pairs) == len(set(pairs))
+
+    def test_small_groups_not_split(self, ctx):
+        stats = JoinStats()
+        tokens = _tokens(ctx, {1: [1, 2, 3], 2: [4, 5]})
+        grouped_join(
+            ctx, tokens, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=5, stats=stats,
+        ).collect()
+        assert stats.repartitioned_groups == 0
+
+    def test_mixed_small_and_large_groups(self, ctx):
+        stats = JoinStats()
+        tokens = _tokens(ctx, {1: list(range(12)), 2: [100, 101]})
+        result = grouped_join(
+            ctx, tokens, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=4, stats=stats,
+        ).collect()
+        pairs = {pair for pair, _item in result}
+        assert (100, 101) in pairs
+        assert len({p for p in pairs if p[0] < 100}) == 12 * 11 // 2
+        assert stats.repartitioned_groups == 1
+
+    def test_deterministic_per_seed(self, ctx):
+        tokens1 = _tokens(Context(4), {7: list(range(20))})
+        tokens2 = _tokens(Context(4), {7: list(range(20))})
+        a = grouped_join(
+            tokens1.context, tokens1, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=6, seed=5,
+        ).collect()
+        b = grouped_join(
+            tokens2.context, tokens2, 4, _pairs_kernel, rs_kernel=_rs_kernel,
+            partition_threshold=6, seed=5,
+        ).collect()
+        assert sorted(a) == sorted(b)
+
+    def test_requires_rs_kernel(self, ctx):
+        tokens = _tokens(ctx, {1: [1, 2]})
+        with pytest.raises(ValueError, match="rs_kernel"):
+            grouped_join(ctx, tokens, 2, _pairs_kernel, partition_threshold=5)
+
+    def test_rejects_tiny_delta(self, ctx):
+        tokens = _tokens(ctx, {1: [1, 2]})
+        with pytest.raises(ValueError, match="partition_threshold"):
+            grouped_join(
+                ctx, tokens, 2, _pairs_kernel, rs_kernel=_rs_kernel,
+                partition_threshold=1,
+            )
+
+
+class TestDistinctPairs:
+    def test_deduplicates(self, ctx):
+        pairs = ctx.parallelize([((1, 2), 5), ((1, 2), 5), ((2, 3), 7)], 2)
+        assert sorted(distinct_pairs(pairs, 2).collect()) == [
+            ((1, 2), 5),
+            ((2, 3), 7),
+        ]
+
+    def test_prefers_known_value(self, ctx):
+        pairs = ctx.parallelize([((1, 2), None), ((1, 2), 9)], 2)
+        assert distinct_pairs(pairs, 2).collect() == [((1, 2), 9)]
+
+    def test_keeps_none_when_no_known_value(self, ctx):
+        pairs = ctx.parallelize([((1, 2), None), ((1, 2), None)], 2)
+        assert distinct_pairs(pairs, 2).collect() == [((1, 2), None)]

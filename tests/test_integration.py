@@ -1,0 +1,62 @@
+"""End-to-end integration: the full pipeline on realistic-shaped data."""
+
+import pytest
+
+from repro import Context, make_dataset, similarity_join
+from repro.joins import bruteforce_join
+from repro.rankings import RankingDataset
+
+
+class TestEndToEnd:
+    def test_full_pipeline_from_file(self, tmp_path, medium_dblp):
+        """Save -> load -> join -> verify, like a user session."""
+        path = tmp_path / "rankings.txt"
+        medium_dblp.save(path)
+        dataset = RankingDataset.load(path)
+        result = similarity_join(dataset, 0.25, algorithm="cl")
+        truth = bruteforce_join(medium_dblp, 0.25).pair_set()
+        assert result.pair_set() == truth
+
+    @pytest.mark.parametrize("theta", (0.1, 0.3))
+    def test_all_four_paper_algorithms_agree(self, medium_dblp, theta):
+        results = {
+            "vj": similarity_join(medium_dblp, theta, algorithm="vj"),
+            "vj-nl": similarity_join(medium_dblp, theta, algorithm="vj-nl"),
+            "cl": similarity_join(medium_dblp, theta, algorithm="cl"),
+            "cl-p": similarity_join(
+                medium_dblp, theta, algorithm="cl-p", partition_threshold=20
+            ),
+        }
+        pair_sets = {name: r.pair_set() for name, r in results.items()}
+        reference = pair_sets["vj"]
+        assert all(pairs == reference for pairs in pair_sets.values())
+
+    def test_scaled_dataset_joins_exactly(self):
+        base = make_dataset("dblp", size_factor=0.08, seed=21)
+        from repro.rankings import increase
+
+        grown = increase(base, 3, seed=21)
+        truth = bruteforce_join(grown, 0.3).pair_set()
+        assert similarity_join(grown, 0.3, algorithm="cl").pair_set() == truth
+
+    def test_k25_dataset(self):
+        """The Figure 11 configuration: longer rankings."""
+        dataset = make_dataset("orku25", size_factor=0.06, seed=5)
+        assert dataset.k == 25
+        truth = bruteforce_join(dataset, 0.3).pair_set()
+        for algorithm in ("vj", "vj-nl", "cl"):
+            result = similarity_join(dataset, 0.3, algorithm=algorithm)
+            assert result.pair_set() == truth
+
+    def test_metrics_survive_full_run(self, medium_dblp):
+        ctx = Context(default_parallelism=8)
+        similarity_join(medium_dblp, 0.2, algorithm="cl", ctx=ctx)
+        combined = ctx.metrics.combined()
+        assert combined.num_tasks > 0
+        assert combined.total_task_seconds > 0
+        assert ctx.simulated_seconds() > 0
+
+    def test_deterministic_across_runs(self, medium_dblp):
+        first = similarity_join(medium_dblp, 0.3, algorithm="cl")
+        second = similarity_join(medium_dblp, 0.3, algorithm="cl")
+        assert first.pair_set() == second.pair_set()

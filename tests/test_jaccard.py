@@ -1,0 +1,52 @@
+"""The Jaccard-distance join extension (the paper's future work)."""
+
+import pytest
+
+from repro.joins import jaccard_bruteforce, jaccard_join, jaccard_join_local
+from repro.minispark import Context
+
+THETAS = (0.2, 0.5, 0.8)
+
+
+class TestLocalJaccard:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_matches_bruteforce(self, small_dblp, theta):
+        truth = jaccard_bruteforce(small_dblp, theta).pair_set()
+        assert jaccard_join_local(small_dblp, theta).pair_set() == truth
+
+    def test_distances_in_unit_interval(self, small_dblp):
+        for _i, _j, d in jaccard_join_local(small_dblp, 0.6).pairs:
+            assert 0.0 <= d <= 0.6
+
+    def test_invalid_threshold(self, small_dblp):
+        with pytest.raises(ValueError):
+            jaccard_join_local(small_dblp, 1.5)
+
+
+class TestDistributedJaccard:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_matches_bruteforce(self, small_dblp, theta):
+        truth = jaccard_bruteforce(small_dblp, theta).pair_set()
+        result = jaccard_join(Context(4), small_dblp, theta)
+        assert result.pair_set() == truth
+
+    def test_with_repartitioning(self, small_dblp):
+        truth = jaccard_bruteforce(small_dblp, 0.5).pair_set()
+        result = jaccard_join(
+            Context(4), small_dblp, 0.5, partition_threshold=5
+        )
+        assert result.pair_set() == truth
+
+    def test_order_insensitive(self):
+        """Jaccard ignores rank order: permuted rankings are distance 0."""
+        from repro.rankings import Ranking, RankingDataset
+
+        dataset = RankingDataset(
+            [Ranking(0, [1, 2, 3]), Ranking(1, [3, 1, 2]), Ranking(2, [7, 8, 9])]
+        )
+        result = jaccard_join(Context(2), dataset, 0.0)
+        assert result.pair_set() == {(0, 1)}
+
+    def test_invalid_threshold(self, small_dblp):
+        with pytest.raises(ValueError):
+            jaccard_join(Context(4), small_dblp, -0.1)

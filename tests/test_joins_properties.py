@@ -1,0 +1,100 @@
+"""Property tests: every algorithm equals brute force on random datasets.
+
+This is the library's central guarantee — whatever the data, whatever the
+parameters, the four distributed algorithms are *exact*.  Hypothesis
+generates small adversarial datasets (tiny domains force heavy overlap and
+deep near-duplicate structure — much nastier than the benchmark data).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import bruteforce_join, cl_join, vj_join
+from repro.minispark import Context
+from repro.rankings import Ranking, RankingDataset
+
+K = 5
+DOMAIN = list(range(11))
+
+
+def datasets(min_size=2, max_size=14):
+    ranking = st.permutations(DOMAIN).map(lambda p: tuple(p[:K]))
+    return st.lists(ranking, min_size=min_size, max_size=max_size).map(
+        lambda rows: RankingDataset(
+            [Ranking(i, row) for i, row in enumerate(rows)]
+        )
+    )
+
+
+thetas = st.sampled_from([0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.95, 1.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(datasets(), thetas)
+def test_vj_exact(dataset, theta):
+    truth = bruteforce_join(dataset, theta).pair_set()
+    assert vj_join(Context(3), dataset, theta).pair_set() == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(datasets(), thetas)
+def test_vj_nl_exact(dataset, theta):
+    truth = bruteforce_join(dataset, theta).pair_set()
+    assert vj_join(Context(3), dataset, theta, variant="nl").pair_set() == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(datasets(), thetas, st.sampled_from([0.0, 0.02, 0.05, 0.1]))
+def test_cl_exact(dataset, theta, theta_c):
+    truth = bruteforce_join(dataset, theta).pair_set()
+    result = cl_join(
+        Context(3), dataset, theta, theta_c=min(theta_c, theta)
+    )
+    assert result.pair_set() == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), thetas, st.integers(min_value=2, max_value=6))
+def test_clp_exact(dataset, theta, delta):
+    truth = bruteforce_join(dataset, theta).pair_set()
+    result = cl_join(
+        Context(3), dataset, theta, theta_c=min(0.03, theta),
+        partition_threshold=delta,
+    )
+    assert result.pair_set() == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), thetas)
+def test_cl_safe_and_paper_prefixes_agree_on_random_data(dataset, theta):
+    theta_c = min(0.03, theta)
+    safe = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c, singleton_prefix="safe"
+    )
+    paper = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c, singleton_prefix="paper"
+    )
+    assert safe.pair_set() == paper.pair_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), thetas)
+def test_local_prefix_join_exact(dataset, theta):
+    from repro.joins import PrefixFilterJoin
+
+    truth = bruteforce_join(dataset, theta).pair_set()
+    assert PrefixFilterJoin(theta).join(dataset).pair_set() == truth
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets(min_size=2, max_size=10), thetas)
+def test_results_distances_within_threshold(dataset, theta):
+    from repro.rankings import footrule, max_footrule
+
+    by_id = dataset.by_id()
+    result = cl_join(
+        Context(3), dataset, theta, theta_c=min(0.03, theta)
+    ).with_distances(dataset)
+    for i, j, d in result.pairs:
+        assert d == footrule(by_id[i], by_id[j])
+        assert d <= theta * max_footrule(dataset.k) + 1e-9

@@ -1,0 +1,59 @@
+"""k-nearest-neighbour search built on the range index."""
+
+import pytest
+
+from repro.rankings import footrule
+from repro.search import PrefixIndex, knn_search
+
+
+class TestKnn:
+    def test_returns_n_closest(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=1.0)
+        query = small_dblp[0]
+        results = knn_search(index, query, n=5)
+        assert len(results) == 5
+        # Compare against a full sort of true distances.
+        truth = sorted(
+            (
+                (footrule(query, r), r.rid)
+                for r in small_dblp
+                if r.rid != query.rid
+            ),
+        )[:5]
+        assert [(d, r.rid) for r, d in results] == truth
+
+    def test_distances_non_decreasing(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=1.0)
+        results = knn_search(index, small_dblp[3], n=10)
+        distances = [d for _r, d in results]
+        assert distances == sorted(distances)
+
+    def test_n_larger_than_reachable(self, small_dblp):
+        """theta_max caps the radius; fewer than n results is possible."""
+        index = PrefixIndex(small_dblp, theta_max=0.05)
+        results = knn_search(index, small_dblp[0], n=10**6)
+        truth_count = sum(
+            1
+            for r in small_dblp
+            if r.rid != small_dblp[0].rid
+            and footrule(small_dblp[0], r) <= 0.05 * 110
+        )
+        assert len(results) == truth_count
+
+    def test_n_one(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=1.0)
+        nearest = knn_search(index, small_dblp[7], n=1)
+        assert len(nearest) == 1
+        best = min(
+            (footrule(small_dblp[7], r), r.rid)
+            for r in small_dblp
+            if r.rid != small_dblp[7].rid
+        )
+        assert (nearest[0][1], nearest[0][0].rid) == best
+
+    def test_invalid_args(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.3)
+        with pytest.raises(ValueError):
+            knn_search(index, small_dblp[0], n=0)
+        with pytest.raises(ValueError):
+            knn_search(index, small_dblp[0], n=3, initial_theta=0)

@@ -1,0 +1,182 @@
+"""The in-memory prefix-filter join and the per-group kernels."""
+
+import pytest
+
+from repro.joins import (
+    JoinStats,
+    PrefixFilterJoin,
+    bruteforce_join,
+    join_group_indexed,
+    join_group_nested_loop,
+    join_groups_rs,
+    prefix_size_for,
+)
+from repro.rankings import (
+    RankingDataset,
+    item_frequencies,
+    order_ranking,
+    raw_threshold,
+)
+
+THETAS = (0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+class TestPrefixFilterJoin:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_matches_bruteforce_overlap_prefix(self, small_dblp, theta):
+        truth = bruteforce_join(small_dblp, theta).pair_set()
+        assert PrefixFilterJoin(theta).join(small_dblp).pair_set() == truth
+
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_matches_bruteforce_ordered_prefix(self, small_dblp, theta):
+        truth = bruteforce_join(small_dblp, theta).pair_set()
+        result = PrefixFilterJoin(theta, prefix="ordered").join(small_dblp)
+        assert result.pair_set() == truth
+
+    def test_matches_bruteforce_without_position_filter(self, small_dblp):
+        truth = bruteforce_join(small_dblp, 0.3).pair_set()
+        join = PrefixFilterJoin(0.3, use_position_filter=False)
+        assert join.join(small_dblp).pair_set() == truth
+
+    def test_orku_profile(self, small_orku):
+        truth = bruteforce_join(small_orku, 0.25).pair_set()
+        assert PrefixFilterJoin(0.25).join(small_orku).pair_set() == truth
+
+    def test_distances_reported_correctly(self, small_dblp):
+        from repro.rankings import footrule
+
+        by_id = small_dblp.by_id()
+        result = PrefixFilterJoin(0.3).join(small_dblp)
+        for i, j, d in result.pairs:
+            assert d == footrule(by_id[i], by_id[j])
+
+    def test_position_filter_reduces_verifications(self, medium_dblp):
+        # The rank-displacement bound theta_raw / 2 only bites when it is
+        # below k - 1, i.e. for small thresholds (theta < ~0.16 at k=10).
+        with_filter = PrefixFilterJoin(0.05).join(medium_dblp)
+        without = PrefixFilterJoin(0.05, use_position_filter=False).join(
+            medium_dblp
+        )
+        assert with_filter.stats.verified < without.stats.verified
+        assert with_filter.pair_set() == without.pair_set()
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixFilterJoin(-0.1)
+
+    def test_unknown_prefix_scheme_rejected(self, small_dblp):
+        with pytest.raises(ValueError, match="prefix scheme"):
+            PrefixFilterJoin(0.1, prefix="mystery").join(small_dblp)
+
+    def test_no_duplicate_pairs(self, medium_dblp):
+        pairs = PrefixFilterJoin(0.3).join(medium_dblp).pairs
+        keys = [(i, j) for i, j, _ in pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestPrefixSizeFor:
+    def test_dispatch(self):
+        theta_raw = raw_threshold(0.3, 10)
+        assert prefix_size_for("overlap", theta_raw, 10) == 6
+        assert prefix_size_for("ordered", theta_raw, 10) == 5
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            prefix_size_for("nope", 10, 10)
+
+
+def _ordered_group(dataset, member_ids):
+    frequencies = item_frequencies(dataset.rankings)
+    by_id = dataset.by_id()
+    return [order_ranking(by_id[rid], frequencies) for rid in member_ids]
+
+
+class TestGroupKernels:
+    def _truth_within_group(self, dataset, member_ids, theta):
+        by_id = dataset.by_id()
+        theta_raw = raw_threshold(theta, dataset.k)
+        from repro.rankings import footrule
+
+        truth = set()
+        ids = sorted(member_ids)
+        for a_index, i in enumerate(ids):
+            for j in ids[a_index + 1 :]:
+                if footrule(by_id[i], by_id[j]) <= theta_raw:
+                    truth.add((i, j))
+        return truth
+
+    def test_nested_loop_kernel_complete_with_shared_item(self, small_dblp):
+        """The NL kernel over a group that genuinely shares an item."""
+        theta = 0.3
+        theta_raw = raw_threshold(theta, small_dblp.k)
+        # Build a real posting list: all rankings containing some item.
+        item = small_dblp[0].items[0]
+        members = [r.rid for r in small_dblp if item in r]
+        group = _ordered_group(small_dblp, members)
+        stats = JoinStats()
+        found = {
+            pair
+            for pair, _d in join_group_nested_loop(group, item, theta_raw, stats)
+        }
+        assert found == self._truth_within_group(small_dblp, members, theta)
+
+    def test_indexed_kernel_subset_of_group_truth(self, small_dblp):
+        """The indexed kernel may skip pairs not sharing a *prefix* item —
+        those are found under other group keys; within one group it must
+        never produce false positives and must find every pair whose
+        prefixes intersect."""
+        theta = 0.3
+        theta_raw = raw_threshold(theta, small_dblp.k)
+        p = prefix_size_for("overlap", theta_raw, small_dblp.k)
+        members = [r.rid for r in small_dblp][:40]
+        group = _ordered_group(small_dblp, members)
+        stats = JoinStats()
+        found = {
+            pair for pair, _d in join_group_indexed(group, p, theta_raw, stats)
+        }
+        truth = self._truth_within_group(small_dblp, members, theta)
+        assert found <= truth
+        # Completeness for prefix-sharing pairs: the whole-group truth is
+        # recovered because any result pair must share a prefix item.
+        assert found == truth
+
+    def test_rs_kernel_cross_pairs_only(self, small_dblp):
+        theta = 0.4
+        theta_raw = raw_threshold(theta, small_dblp.k)
+        item = small_dblp[0].items[0]
+        members = [r.rid for r in small_dblp if item in r]
+        group = _ordered_group(small_dblp, members)
+        left, right = group[: len(group) // 2], group[len(group) // 2 :]
+        stats = JoinStats()
+        found = {
+            pair
+            for pair, _d in join_groups_rs(left, right, item, theta_raw, stats)
+        }
+        left_ids = {o.rid for o in left}
+        right_ids = {o.rid for o in right}
+        for i, j in found:
+            assert (i in left_ids and j in right_ids) or (
+                i in right_ids and j in left_ids
+            )
+
+    def test_rs_kernel_plus_within_equals_group_truth(self, small_dblp):
+        theta = 0.3
+        theta_raw = raw_threshold(theta, small_dblp.k)
+        item = small_dblp[0].items[0]
+        members = [r.rid for r in small_dblp if item in r]
+        group = _ordered_group(small_dblp, members)
+        left, right = group[::2], group[1::2]
+        stats = JoinStats()
+        found = set()
+        found.update(
+            p for p, _ in join_group_nested_loop(left, item, theta_raw, stats)
+        )
+        found.update(
+            p for p, _ in join_group_nested_loop(right, item, theta_raw, stats)
+        )
+        found.update(
+            p for p, _ in join_groups_rs(left, right, item, theta_raw, stats)
+        )
+        assert found == self._truth_within_group(
+            small_dblp, members, theta
+        )

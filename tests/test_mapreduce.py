@@ -1,0 +1,150 @@
+"""The MapReduce backend and the original VJ pipeline on it."""
+
+import os
+
+import pytest
+
+from repro.joins import bruteforce_join
+from repro.mapreduce import (
+    MapReduceJob,
+    MapReduceMetrics,
+    MapReducePipeline,
+    vj_mapreduce_join,
+)
+
+
+class TestMapReduceJob:
+    def test_word_count(self, tmp_path):
+        job = MapReduceJob(
+            mapper=lambda line: ((word, 1) for word in line.split()),
+            reducer=lambda word, counts: [(word, sum(counts))],
+            num_reducers=3,
+        )
+        output = job.run(["a b a", "b c", "a"], tmp_path)
+        assert dict(output) == {"a": 3, "b": 2, "c": 1}
+
+    def test_combiner_reduces_spilled_records(self, tmp_path):
+        def mapper(line):
+            return ((word, 1) for word in line.split())
+
+        def reducer(word, counts):
+            return [(word, sum(counts))]
+
+        lines = ["a a a a b"] * 5
+        plain = MapReduceMetrics()
+        MapReduceJob(mapper, reducer, num_reducers=2).run(
+            lines, tmp_path / "plain", plain
+        )
+        combined = MapReduceMetrics()
+        MapReduceJob(
+            mapper, reducer, combiner=reducer, num_reducers=2
+        ).run(lines, tmp_path / "combined", combined)
+        assert combined.spilled_records < plain.spilled_records
+        assert combined.spilled_bytes < plain.spilled_bytes
+
+    def test_reducer_sees_sorted_keys(self, tmp_path):
+        seen = []
+
+        def reducer(key, values):
+            seen.append(key)
+            return []
+
+        MapReduceJob(
+            mapper=lambda x: [(x, None)],
+            reducer=reducer,
+            num_reducers=1,
+        ).run([5, 1, 9, 3], tmp_path)
+        assert seen == sorted(seen)
+
+    def test_values_grouped_per_key(self, tmp_path):
+        job = MapReduceJob(
+            mapper=lambda kv: [kv],
+            reducer=lambda key, values: [(key, sorted(values))],
+            num_reducers=2,
+        )
+        output = dict(job.run([(1, "a"), (2, "x"), (1, "b")], tmp_path))
+        assert output == {1: ["a", "b"], 2: ["x"]}
+
+    def test_spill_files_written_to_disk(self, tmp_path):
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 2, x)],
+            reducer=lambda key, values: [(key, values)],
+            num_reducers=2,
+            num_map_tasks=2,
+        )
+        metrics = MapReduceMetrics()
+        job.run(range(10), tmp_path, metrics)
+        spills = [name for name in os.listdir(tmp_path) if "spill" in name]
+        assert spills
+        assert metrics.spilled_bytes > 0
+        assert metrics.map_tasks == 2
+        assert metrics.reduce_tasks == 2
+
+    def test_empty_input(self, tmp_path):
+        job = MapReduceJob(
+            mapper=lambda x: [(x, 1)],
+            reducer=lambda k, v: [(k, v)],
+            num_reducers=2,
+        )
+        assert job.run([], tmp_path) == []
+
+    def test_invalid_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(lambda x: [], lambda k, v: [], num_reducers=0)
+
+
+class TestPipeline:
+    def test_chained_jobs_accumulate_metrics(self):
+        pipeline = MapReducePipeline(num_reducers=2)
+        counts = pipeline.run_job(
+            ["a b", "b c"],
+            mapper=lambda line: ((w, 1) for w in line.split()),
+            reducer=lambda w, c: [(w, sum(c))],
+        )
+        totals = pipeline.run_job(
+            counts,
+            mapper=lambda wc: [("total", wc[1])],
+            reducer=lambda k, v: [(k, sum(v))],
+        )
+        assert dict(totals) == {"total": 4}
+        assert pipeline.metrics.map_tasks == 4
+        assert pipeline.metrics.total_seconds > 0
+
+    def test_scratch_directories_cleaned_up(self, tmp_path, monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        pipeline = MapReducePipeline(num_reducers=2)
+        pipeline.run_job(
+            ["x"], mapper=lambda l: [(l, 1)], reducer=lambda k, v: [(k, v)]
+        )
+        assert not any(tmp_path.iterdir())
+
+
+class TestVJMapReduce:
+    @pytest.mark.parametrize("theta", (0.1, 0.3))
+    def test_matches_bruteforce(self, small_dblp, theta):
+        truth = bruteforce_join(small_dblp, theta).pair_set()
+        result = vj_mapreduce_join(small_dblp, theta)
+        assert result.pair_set() == truth
+
+    def test_nl_variant(self, small_dblp):
+        truth = bruteforce_join(small_dblp, 0.2).pair_set()
+        result = vj_mapreduce_join(small_dblp, 0.2, variant="nl")
+        assert result.pair_set() == truth
+
+    def test_phase_structure(self, small_dblp):
+        result = vj_mapreduce_join(small_dblp, 0.2)
+        assert set(result.phase_seconds) == {
+            "frequency-job", "join-job", "dedup-job",
+        }
+        assert result.algorithm == "vj-mapreduce"
+
+    def test_spills_to_disk(self, small_dblp):
+        result = vj_mapreduce_join(small_dblp, 0.2)
+        assert result.mapreduce_metrics.spilled_bytes > 0
+        assert result.mapreduce_metrics.map_tasks >= 3  # three jobs
+
+    def test_invalid_variant(self, small_dblp):
+        with pytest.raises(ValueError):
+            vj_mapreduce_join(small_dblp, 0.2, variant="wat")

@@ -1,0 +1,73 @@
+"""Property tests: the MapReduce backend agrees with plain Python."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import MapReduceJob
+
+words = st.lists(
+    st.text(alphabet="abcde", min_size=1, max_size=3), max_size=40
+)
+reducer_counts = st.integers(min_value=1, max_value=7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words, reducer_counts)
+def test_word_count_matches_counter(tokens, num_reducers, tmp_path_factory):
+    job = MapReduceJob(
+        mapper=lambda token: [(token, 1)],
+        reducer=lambda token, counts: [(token, sum(counts))],
+        num_reducers=num_reducers,
+    )
+    workdir = tmp_path_factory.mktemp("mr")
+    output = dict(job.run(tokens, workdir))
+    assert output == dict(Counter(tokens))
+
+
+@settings(max_examples=60, deadline=None)
+@given(words, reducer_counts)
+def test_combiner_never_changes_the_answer(tokens, num_reducers,
+                                           tmp_path_factory):
+    def mapper(token):
+        return [(token, 1)]
+
+    def reducer(token, counts):
+        return [(token, sum(counts))]
+
+    plain = dict(
+        MapReduceJob(mapper, reducer, num_reducers=num_reducers).run(
+            tokens, tmp_path_factory.mktemp("plain")
+        )
+    )
+    combined = dict(
+        MapReduceJob(
+            mapper, reducer, combiner=reducer, num_reducers=num_reducers
+        ).run(tokens, tmp_path_factory.mktemp("combined"))
+    )
+    assert plain == combined
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=40,
+    ),
+    reducer_counts,
+)
+def test_grouping_matches_manual(pairs, num_reducers, tmp_path_factory):
+    job = MapReduceJob(
+        mapper=lambda kv: [kv],
+        reducer=lambda key, values: [(key, sorted(values))],
+        num_reducers=num_reducers,
+    )
+    output = dict(job.run(pairs, tmp_path_factory.mktemp("mr")))
+    expected: dict = {}
+    for key, value in pairs:
+        expected.setdefault(key, []).append(value)
+    assert output == {k: sorted(v) for k, v in expected.items()}

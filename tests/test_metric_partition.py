@@ -1,0 +1,88 @@
+"""The random-centroid metric-partition baseline (Section 5.1's strawman)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import bruteforce_join, metric_partition_join
+from repro.minispark import Context
+from repro.rankings import Ranking, RankingDataset
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("theta", (0.1, 0.2, 0.3, 0.4))
+    def test_matches_bruteforce(self, small_dblp, theta):
+        truth = bruteforce_join(small_dblp, theta).pair_set()
+        result = metric_partition_join(Context(4), small_dblp, theta)
+        assert result.pair_set() == truth
+
+    @pytest.mark.parametrize("num_centroids", (1, 3, 10, 50))
+    def test_any_centroid_count_is_exact(self, small_dblp, num_centroids):
+        truth = bruteforce_join(small_dblp, 0.3).pair_set()
+        result = metric_partition_join(
+            Context(4), small_dblp, 0.3, num_centroids=num_centroids
+        )
+        assert result.pair_set() == truth
+
+    def test_deterministic_per_seed(self, small_dblp):
+        a = metric_partition_join(Context(4), small_dblp, 0.2, seed=3)
+        b = metric_partition_join(Context(4), small_dblp, 0.2, seed=3)
+        assert a.pair_set() == b.pair_set()
+        assert a.stats.cluster_members == b.stats.cluster_members
+
+    def test_via_facade(self, small_dblp):
+        from repro import similarity_join
+
+        truth = bruteforce_join(small_dblp, 0.25).pair_set()
+        result = similarity_join(
+            small_dblp, 0.25, algorithm="metric-partition"
+        )
+        assert result.pair_set() == truth
+
+    def test_invalid_centroids(self, small_dblp):
+        with pytest.raises(ValueError):
+            metric_partition_join(
+                Context(4), small_dblp, 0.2, num_centroids=0
+            )
+
+
+class TestReplicationBehaviour:
+    def test_larger_theta_more_replication(self, small_dblp):
+        small = metric_partition_join(Context(4), small_dblp, 0.1)
+        large = metric_partition_join(Context(4), small_dblp, 0.4)
+        assert large.stats.cluster_members >= small.stats.cluster_members
+
+    def test_replication_at_least_dataset_size(self, small_dblp):
+        """Every ranking has a home copy; borders only add to that."""
+        result = metric_partition_join(Context(4), small_dblp, 0.2)
+        assert result.stats.cluster_members >= len(small_dblp)
+
+    def test_single_centroid_degenerates_to_one_region(self, small_dblp):
+        result = metric_partition_join(
+            Context(4), small_dblp, 0.2, num_centroids=1
+        )
+        assert result.stats.cluster_members == len(small_dblp)
+
+
+DOMAIN = list(range(11))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.permutations(DOMAIN).map(lambda p: tuple(p[:5])),
+        min_size=2,
+        max_size=12,
+    ),
+    st.sampled_from([0.05, 0.1, 0.2, 0.4, 0.6]),
+    st.integers(min_value=1, max_value=6),
+)
+def test_exact_on_random_data(rows, theta, num_centroids):
+    dataset = RankingDataset(
+        [Ranking(i, row) for i, row in enumerate(rows)]
+    )
+    truth = bruteforce_join(dataset, theta).pair_set()
+    result = metric_partition_join(
+        Context(3), dataset, theta, num_centroids=num_centroids
+    )
+    assert result.pair_set() == truth

@@ -1,0 +1,100 @@
+"""Property tests: RDD operations agree with plain-Python semantics."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minispark import Context
+
+elements = st.lists(st.integers(min_value=-50, max_value=50), max_size=60)
+partitions = st.integers(min_value=1, max_value=7)
+pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=-10, max_value=10),
+    ),
+    max_size=60,
+)
+
+
+@given(elements, partitions)
+def test_collect_identity(data, num_partitions):
+    assert Context(4).parallelize(data, num_partitions).collect() == data
+
+
+@given(elements, partitions)
+def test_map_matches_builtin(data, num_partitions):
+    rdd = Context(4).parallelize(data, num_partitions)
+    assert rdd.map(lambda x: x * 2 + 1).collect() == [x * 2 + 1 for x in data]
+
+
+@given(elements, partitions)
+def test_filter_matches_builtin(data, num_partitions):
+    rdd = Context(4).parallelize(data, num_partitions)
+    assert rdd.filter(lambda x: x % 3 == 0).collect() == [
+        x for x in data if x % 3 == 0
+    ]
+
+@given(elements, partitions)
+def test_count_matches_len(data, num_partitions):
+    assert Context(4).parallelize(data, num_partitions).count() == len(data)
+
+
+@given(pairs, partitions, partitions)
+def test_reduce_by_key_matches_counter(data, p_in, p_out):
+    rdd = Context(4).parallelize(data, p_in)
+    result = dict(rdd.reduce_by_key(lambda a, b: a + b, p_out).collect())
+    expected: Counter = Counter()
+    for key, value in data:
+        expected[key] += value
+    assert result == dict(expected)
+
+
+@given(pairs, partitions)
+def test_group_by_key_matches_manual_grouping(data, num_partitions):
+    rdd = Context(4).parallelize(data, num_partitions)
+    result = {k: sorted(v) for k, v in rdd.group_by_key().collect()}
+    expected: dict = {}
+    for key, value in data:
+        expected.setdefault(key, []).append(value)
+    assert result == {k: sorted(v) for k, v in expected.items()}
+
+
+@given(elements, partitions)
+def test_distinct_matches_set(data, num_partitions):
+    rdd = Context(4).parallelize(data, num_partitions)
+    assert sorted(rdd.distinct().collect()) == sorted(set(data))
+
+
+@given(pairs, pairs, partitions)
+def test_join_matches_nested_loop(left, right, num_partitions):
+    ctx = Context(4)
+    result = sorted(
+        ctx.parallelize(left, num_partitions)
+        .join(ctx.parallelize(right, num_partitions))
+        .collect()
+    )
+    expected = sorted(
+        (k, (v, w)) for k, v in left for k2, w in right if k == k2
+    )
+    assert result == expected
+
+
+@settings(max_examples=50)
+@given(elements, partitions, partitions)
+def test_sort_by_matches_sorted(data, p_in, p_out):
+    rdd = Context(4).parallelize(data, p_in)
+    assert rdd.sort_by(lambda x: x, num_partitions=p_out).collect() == sorted(data)
+
+
+@given(elements, partitions, partitions)
+def test_repartition_preserves_multiset(data, p_in, p_out):
+    rdd = Context(4).parallelize(data, p_in).repartition(p_out)
+    assert sorted(rdd.collect()) == sorted(data)
+
+
+@given(pairs, partitions)
+def test_count_by_key_matches_counter(data, num_partitions):
+    rdd = Context(4).parallelize(data, num_partitions)
+    assert rdd.count_by_key() == dict(Counter(k for k, _v in data))

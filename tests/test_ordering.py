@@ -1,0 +1,98 @@
+"""Tests for the canonical frequency ordering (Section 4, Figure 3)."""
+
+from repro.rankings import (
+    Ranking,
+    frequency_order_key,
+    item_frequencies,
+    order_dataset,
+    order_ranking,
+)
+
+
+class TestItemFrequencies:
+    def test_counts(self):
+        rankings = [Ranking(0, [1, 2]), Ranking(1, [2, 3])]
+        assert item_frequencies(rankings) == {1: 1, 2: 2, 3: 1}
+
+    def test_empty_input(self):
+        assert item_frequencies([]) == {}
+
+
+class TestFrequencyOrderKey:
+    def test_orders_by_frequency_then_id(self):
+        key = frequency_order_key({5: 3, 7: 1, 2: 1})
+        assert sorted([5, 7, 2], key=key) == [2, 7, 5]
+
+    def test_unknown_items_sort_first(self):
+        key = frequency_order_key({5: 3})
+        assert sorted([5, 99], key=key) == [99, 5]
+
+
+class TestOrderRanking:
+    def test_pairs_keep_original_ranks(self):
+        r = Ranking(0, [10, 20, 30])
+        ordered = order_ranking(r, {10: 5, 20: 1, 30: 3})
+        assert ordered.pairs == ((20, 1), (30, 2), (10, 0))
+
+    def test_figure3_example(self):
+        """Figure 3: in tau1 = [...], item 1 (frequency 3) moves to front.
+
+        We re-create the six rankings of the figure and confirm tau1's
+        first canonical pair is (1, 4) — item 1, original rank 4.
+        """
+        rows = [
+            [5, 2, 4, 3, 1],   # tau1: item 1 at rank 4 (0-based)
+            [5, 2, 4, 3, 1],
+            [0, 8, 5, 3, 7],
+            [8, 0, 5, 3, 7],
+            [2, 5, 3, 4, 1],
+            [6, 9, 8, 0, 5],
+        ]
+        # Figure 3 shows tau1 ordered as [(1,4),(2,0),...]: item 1 is
+        # rarest among tau1's items.  Build frequencies from the figure's
+        # dataset and check item 1 sorts before item 5 for tau1.
+        rankings = [Ranking(i + 1, row) for i, row in enumerate(rows)]
+        frequencies = item_frequencies(rankings)
+        ordered = order_ranking(rankings[0], frequencies)
+        items_in_order = [item for item, _rank in ordered.pairs]
+        assert items_in_order.index(1) < items_in_order.index(5)
+
+    def test_rarest_items_first(self, small_dblp):
+        frequencies = item_frequencies(small_dblp.rankings)
+        ordered = order_ranking(small_dblp[0], frequencies)
+        counts = [frequencies[item] for item, _rank in ordered.pairs]
+        assert counts == sorted(counts)
+
+    def test_prefix_and_prefix_items(self):
+        r = Ranking(0, [10, 20, 30])
+        ordered = order_ranking(r, {10: 9, 20: 1, 30: 5})
+        assert ordered.prefix(2) == ((20, 1), (30, 2))
+        assert ordered.prefix_items(2) == [20, 30]
+
+    def test_rid_passthrough(self):
+        ordered = order_ranking(Ranking(17, [1, 2]), {})
+        assert ordered.rid == 17
+
+    def test_equality_and_hash(self):
+        r = Ranking(0, [1, 2])
+        a = order_ranking(r, {1: 1, 2: 2})
+        b = order_ranking(r, {1: 1, 2: 2})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "something else"
+
+
+class TestOrderDataset:
+    def test_all_rankings_ordered_consistently(self, small_dblp):
+        ordered = order_dataset(small_dblp.rankings)
+        assert len(ordered) == len(small_dblp)
+        frequencies = item_frequencies(small_dblp.rankings)
+        key = frequency_order_key(frequencies)
+        for o in ordered:
+            items = [item for item, _rank in o.pairs]
+            assert items == sorted(items, key=key)
+
+    def test_original_ranks_recoverable(self, small_dblp):
+        for o in order_dataset(small_dblp.rankings):
+            for item, rank in o.pairs:
+                assert o.ranking.items[rank] == item

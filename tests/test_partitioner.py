@@ -1,0 +1,80 @@
+"""Partitioners and the portable hash."""
+
+import pytest
+
+from repro.minispark import HashPartitioner, RangePartitioner, portable_hash
+
+
+class TestPortableHash:
+    def test_int_is_identity(self):
+        assert portable_hash(42) == 42
+
+    def test_none_is_zero(self):
+        assert portable_hash(None) == 0
+
+    def test_bool(self):
+        assert portable_hash(True) == 1
+        assert portable_hash(False) == 0
+
+    def test_string_deterministic(self):
+        # CRC32 of "spark" — fixed across processes, unlike built-in hash.
+        assert portable_hash("spark") == portable_hash("spark")
+        assert isinstance(portable_hash("spark"), int)
+
+    def test_bytes(self):
+        assert portable_hash(b"ab") == portable_hash(b"ab")
+
+    def test_tuple_combines_elements(self):
+        assert portable_hash((1, 2)) != portable_hash((2, 1))
+        assert portable_hash((1, "a")) == portable_hash((1, "a"))
+
+    def test_nested_tuple(self):
+        assert portable_hash(((1, 2), 3)) == portable_hash(((1, 2), 3))
+
+    def test_frozenset_order_independent(self):
+        assert portable_hash(frozenset({1, 2})) == portable_hash(frozenset({2, 1}))
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        partitioner = HashPartitioner(7)
+        for key in range(100):
+            assert 0 <= partitioner.partition(key) < 7
+
+    def test_same_key_same_partition(self):
+        partitioner = HashPartitioner(5)
+        assert partitioner.partition((3, "x")) == partitioner.partition((3, "x"))
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_bounds_routing_ascending(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.num_partitions == 3
+        assert partitioner.partition(5) == 0
+        assert partitioner.partition(10) == 0
+        assert partitioner.partition(11) == 1
+        assert partitioner.partition(99) == 2
+
+    def test_bounds_routing_descending(self):
+        partitioner = RangePartitioner([10, 20], ascending=False)
+        assert partitioner.partition(5) == 2
+        assert partitioner.partition(99) == 0
+
+    def test_empty_bounds_single_partition(self):
+        partitioner = RangePartitioner([])
+        assert partitioner.num_partitions == 1
+        assert partitioner.partition(123) == 0
+
+    def test_equality_includes_bounds(self):
+        assert RangePartitioner([1]) == RangePartitioner([1])
+        assert RangePartitioner([1]) != RangePartitioner([2])
+        assert RangePartitioner([1]) != HashPartitioner(2)

@@ -1,0 +1,97 @@
+"""Unit tests for the Ranking model."""
+
+import pytest
+
+from repro.rankings import Ranking, make_rankings
+
+
+class TestConstruction:
+    def test_items_become_tuple(self):
+        r = Ranking(0, [3, 1, 2])
+        assert r.items == (3, 1, 2)
+
+    def test_k_is_length(self):
+        assert Ranking(0, range(10)).k == 10
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Ranking(5, [1, 2, 1])
+
+    def test_empty_ranking_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Ranking(5, [])
+
+    def test_single_item_allowed(self):
+        assert Ranking(0, [42]).k == 1
+
+
+class TestRankLookup:
+    def test_rank_of_top_item_is_zero(self):
+        r = Ranking(0, [7, 8, 9])
+        assert r.rank_of(7) == 0
+
+    def test_rank_of_last_item(self):
+        r = Ranking(0, [7, 8, 9])
+        assert r.rank_of(9) == 2
+
+    def test_missing_item_raises_without_default(self):
+        r = Ranking(0, [7, 8, 9])
+        with pytest.raises(KeyError):
+            r.rank_of(99)
+
+    def test_missing_item_takes_default(self):
+        r = Ranking(0, [7, 8, 9])
+        assert r.rank_of(99, default=r.k) == 3
+
+    def test_ranks_mapping_is_complete(self):
+        r = Ranking(0, [5, 3, 1])
+        assert r.ranks == {5: 0, 3: 1, 1: 2}
+
+    def test_contains(self):
+        r = Ranking(0, [5, 3, 1])
+        assert 3 in r
+        assert 4 not in r
+
+
+class TestProtocols:
+    def test_iteration_yields_rank_order(self):
+        assert list(Ranking(0, [9, 4, 6])) == [9, 4, 6]
+
+    def test_len(self):
+        assert len(Ranking(0, [1, 2, 3])) == 3
+
+    def test_equality_requires_id_and_items(self):
+        assert Ranking(1, [1, 2]) == Ranking(1, [1, 2])
+        assert Ranking(1, [1, 2]) != Ranking(2, [1, 2])
+        assert Ranking(1, [1, 2]) != Ranking(1, [2, 1])
+
+    def test_equality_with_other_type(self):
+        assert Ranking(1, [1, 2]) != "not a ranking"
+
+    def test_hashable_and_usable_in_sets(self):
+        pair = {Ranking(1, [1, 2]), Ranking(1, [1, 2]), Ranking(2, [1, 2])}
+        assert len(pair) == 2
+
+    def test_ordering_by_id(self):
+        assert Ranking(1, [1, 2]) < Ranking(2, [3, 4])
+        assert sorted([Ranking(3, [1]), Ranking(1, [2])])[0].rid == 1
+
+    def test_domain(self):
+        assert Ranking(0, [4, 2, 7]).domain == frozenset({2, 4, 7})
+
+    def test_repr_shows_id_and_items(self):
+        assert repr(Ranking(3, [1, 2])) == "Ranking(3, [1, 2])"
+
+
+class TestMakeRankings:
+    def test_sequential_ids(self):
+        rankings = make_rankings([[1, 2], [3, 4], [5, 6]])
+        assert [r.rid for r in rankings] == [0, 1, 2]
+
+    def test_start_id(self):
+        rankings = make_rankings([[1, 2]], start_id=10)
+        assert rankings[0].rid == 10
+
+    def test_rows_preserved(self):
+        rankings = make_rankings([[1, 2], [3, 4]])
+        assert rankings[1].items == (3, 4)

@@ -1,0 +1,165 @@
+"""Narrow transformations and actions of the mini-Spark RDD."""
+
+import pytest
+
+from repro.minispark import Context
+
+
+class TestParallelize:
+    def test_collect_roundtrip(self, ctx):
+        assert ctx.parallelize(range(10), 3).collect() == list(range(10))
+
+    def test_partition_count_capped_by_data(self, ctx):
+        rdd = ctx.parallelize([1, 2], 8)
+        assert rdd.num_partitions == 2
+
+    def test_empty_collection(self, ctx):
+        assert ctx.parallelize([], 4).collect() == []
+
+    def test_invalid_partition_count(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 0)
+
+    def test_slices_preserve_order(self, ctx):
+        rdd = ctx.parallelize(range(10), 3)
+        assert rdd.glom().collect() == [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).map(lambda x: x * x).collect() == [1, 4, 9]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10), 3)
+        assert rdd.filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = ctx.parallelize([1, 2], 2)
+        assert rdd.flat_map(lambda x: [x] * x).collect() == [1, 2, 2]
+
+    def test_map_partitions(self, ctx):
+        rdd = ctx.parallelize(range(6), 2)
+        sums = rdd.map_partitions(lambda part: iter([sum(part)]))
+        assert sums.collect() == [3, 12]
+
+    def test_map_partitions_with_index(self, ctx):
+        rdd = ctx.parallelize(range(4), 2)
+        tagged = rdd.map_partitions_with_index(
+            lambda index, part: ((index, x) for x in part)
+        )
+        assert tagged.collect() == [(0, 0), (0, 1), (1, 2), (1, 3)]
+
+    def test_key_by(self, ctx):
+        assert ctx.parallelize([1, 2], 1).key_by(lambda x: -x).collect() == [
+            (-1, 1),
+            (-2, 2),
+        ]
+
+    def test_map_values_and_keys_values(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        assert pairs.map_values(str.upper).collect() == [(1, "A"), (2, "B")]
+        assert pairs.keys().collect() == [1, 2]
+        assert pairs.values().collect() == ["a", "b"]
+
+    def test_flat_map_values(self, ctx):
+        pairs = ctx.parallelize([(1, "ab")], 1)
+        assert pairs.flat_map_values(list).collect() == [(1, "a"), (1, "b")]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3], 1)
+        union = a.union(b)
+        assert union.collect() == [1, 2, 3]
+        assert union.num_partitions == 3
+
+    def test_sample_deterministic(self, ctx):
+        rdd = ctx.parallelize(range(100), 4)
+        a = rdd.sample(0.3, seed=9).collect()
+        b = rdd.sample(0.3, seed=9).collect()
+        assert a == b
+        assert 10 <= len(a) <= 60
+
+    def test_sample_bounds_checked(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+    def test_zip_with_index(self, ctx):
+        rdd = ctx.parallelize("abcde", 3)
+        assert rdd.zip_with_index().collect() == [
+            ("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4),
+        ]
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(17), 4).count() == 17
+
+    def test_take(self, ctx):
+        assert ctx.parallelize(range(10), 3).take(4) == [0, 1, 2, 3]
+        assert ctx.parallelize(range(3), 2).take(0) == []
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([7, 8], 2).first() == 7
+
+    def test_first_of_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 1).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(1, 5), 3).reduce(lambda a, b: a * b) == 24
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_reduce_with_empty_partition(self, ctx):
+        # 2 elements in 4 requested partitions -> capped at 2, fine; force
+        # an empty partition via filter instead.
+        rdd = ctx.parallelize(range(10), 4).filter(lambda x: x < 3)
+        assert rdd.reduce(lambda a, b: a + b) == 3
+
+    def test_fold_sums_with_zero(self, ctx):
+        """fold's op must be closed over the zero type (Spark semantics)."""
+        rdd = ctx.parallelize([1, 2, 3], 2)
+        assert rdd.fold(0, lambda a, b: a + b) == 6
+
+    def test_fold_mutable_zero_not_shared_between_partitions(self, ctx):
+        rdd = ctx.parallelize([[1], [2], [3]], 3)
+        merged = rdd.fold([], lambda a, b: a + b)
+        assert sorted(merged) == [1, 2, 3]
+
+    def test_sum_max_min(self, ctx):
+        rdd = ctx.parallelize([4, -1, 7], 2)
+        assert rdd.sum() == 10
+        assert rdd.max() == 7
+        assert rdd.min() == -1
+
+    def test_top(self, ctx):
+        rdd = ctx.parallelize([5, 1, 9, 3, 7], 2)
+        assert rdd.top(2) == [9, 7]
+        assert rdd.top(2, key=lambda x: -x) == [1, 3]
+
+    def test_count_by_value(self, ctx):
+        rdd = ctx.parallelize(["a", "b", "a"], 2)
+        assert rdd.count_by_value() == {"a": 2, "b": 1}
+
+    def test_foreach_side_effect(self, ctx):
+        seen = []
+        ctx.parallelize(range(5), 2).foreach(seen.append)
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+class TestTextIO:
+    def test_save_and_read_back(self, ctx, tmp_path):
+        out = tmp_path / "out"
+        ctx.parallelize(["x", "y", "z"], 2).save_as_text_file(out)
+        parts = sorted(p.name for p in out.iterdir())
+        assert parts == ["part-00000", "part-00001"]
+        assert ctx.text_file(out / "part-00000").collect() == ["x"]
+
+    def test_text_file_partitioning(self, ctx, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("a\nb\nc\nd\n")
+        rdd = ctx.text_file(path, 2)
+        assert rdd.num_partitions == 2
+        assert rdd.collect() == ["a", "b", "c", "d"]

@@ -1,0 +1,80 @@
+"""Caching semantics and shuffle memoization."""
+
+from repro.minispark import Context
+
+
+class TestCache:
+    def test_cached_rdd_computes_once(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(5), 2).map(traced).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 5
+
+    def test_uncached_rdd_recomputes(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(5), 2).map(traced)
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 10
+
+    def test_unpersist_drops_cache(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(3), 1).map(traced).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 6
+
+    def test_cache_returns_self(self, ctx):
+        rdd = ctx.parallelize([1], 1)
+        assert rdd.cache() is rdd
+
+    def test_cached_results_equal_fresh(self, ctx):
+        rdd = ctx.parallelize(range(20), 4).map(lambda x: x * 3).cache()
+        assert rdd.collect() == rdd.collect() == [x * 3 for x in range(20)]
+
+
+class TestShuffleMemoization:
+    def test_shuffle_map_stage_runs_once(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return (x % 2, x)
+
+        grouped = ctx.parallelize(range(6), 2).map(traced).group_by_key()
+        grouped.collect()
+        grouped.collect()
+        # The map side feeding the shuffle is materialized once and reused
+        # (like Spark's shuffle files).
+        assert len(calls) == 6
+
+    def test_downstream_of_shuffle_recomputes(self, ctx):
+        post_shuffle_calls = []
+
+        def traced(kv):
+            post_shuffle_calls.append(kv)
+            return kv
+
+        grouped = (
+            ctx.parallelize([(1, 2)], 1).group_by_key().map(traced)
+        )
+        grouped.collect()
+        grouped.collect()
+        assert len(post_shuffle_calls) == 2

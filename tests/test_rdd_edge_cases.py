@@ -1,0 +1,98 @@
+"""Edge cases of the RDD API that real workloads hit eventually."""
+
+from repro.minispark import Context
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_rdd_through_wide_ops(self, ctx):
+        empty = ctx.parallelize([], 2)
+        assert empty.map(lambda x: (x, x)).group_by_key().collect() == []
+        assert empty.distinct().collect() == []
+        assert empty.count() == 0
+
+    def test_sample_fraction_zero_and_one(self, ctx):
+        rdd = ctx.parallelize(range(50), 4)
+        assert rdd.sample(0.0).collect() == []
+        assert rdd.sample(1.0).collect() == list(range(50))
+
+    def test_union_of_three(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        c = ctx.parallelize([3], 1)
+        assert a.union(b).union(c).collect() == [1, 2, 3]
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_top_with_ties(self, ctx):
+        assert ctx.parallelize([3, 3, 3, 1], 2).top(2) == [3, 3]
+
+    def test_sort_by_empty(self, ctx):
+        assert ctx.parallelize([], 2).sort_by(lambda x: x).collect() == []
+
+    def test_group_by_key_single_key_many_values(self, ctx):
+        pairs = ctx.parallelize([(0, i) for i in range(100)], 8)
+        grouped = pairs.group_by_key().collect()
+        assert len(grouped) == 1
+        assert sorted(grouped[0][1]) == list(range(100))
+
+    def test_left_outer_join_all_unmatched(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        b = ctx.parallelize([(9, "x")], 1)
+        assert sorted(a.left_outer_join(b).collect()) == [
+            (1, ("a", None)),
+            (2, ("b", None)),
+        ]
+
+    def test_cogroup_disjoint_keys(self, ctx):
+        a = ctx.parallelize([(1, "a")], 1)
+        b = ctx.parallelize([(2, "b")], 1)
+        grouped = dict(a.cogroup(b).collect())
+        assert grouped[1] == (["a"], [])
+        assert grouped[2] == ([], ["b"])
+
+    def test_subtract_by_key_everything(self, ctx):
+        a = ctx.parallelize([(1, "a")], 1)
+        assert a.subtract_by_key(a).collect() == []
+
+
+class TestChainingDepth:
+    def test_long_narrow_chain_fuses(self, ctx):
+        rdd = ctx.parallelize(range(10), 2)
+        for _ in range(30):
+            rdd = rdd.map(lambda x: x + 1)
+        assert rdd.collect() == [x + 30 for x in range(10)]
+        # Still a single stage: narrow chains fuse.
+        assert len(ctx.metrics.jobs[-1].stages) == 1
+
+    def test_diamond_lineage(self, ctx):
+        """One RDD consumed by two branches that are then joined."""
+        base = ctx.parallelize(range(10), 2).map(lambda x: (x % 3, x)).cache()
+        left = base.reduce_by_key(lambda a, b: a + b)
+        right = base.group_by_key().map_values(len)
+        joined = dict(left.join(right).collect())
+        assert joined[0] == (18, 4)   # 0+3+6+9, four values
+
+    def test_reuse_rdd_across_jobs(self, ctx):
+        rdd = ctx.parallelize(range(20), 4).filter(lambda x: x % 2 == 0)
+        assert rdd.count() == 10
+        assert rdd.sum() == 90
+        assert len(ctx.metrics.jobs) == 2
+
+
+class TestStringAndTupleKeys:
+    def test_string_keys_shuffle(self, ctx):
+        pairs = ctx.parallelize([("alpha", 1), ("beta", 2), ("alpha", 3)], 2)
+        assert dict(pairs.reduce_by_key(lambda a, b: a + b).collect()) == {
+            "alpha": 4,
+            "beta": 2,
+        }
+
+    def test_composite_tuple_keys(self, ctx):
+        """The (item, subkey) keys of CL-P's repartitioning."""
+        pairs = ctx.parallelize(
+            [((1, 10), "a"), ((1, 20), "b"), ((1, 10), "c")], 2
+        )
+        grouped = dict(pairs.group_by_key().collect())
+        assert sorted(grouped[(1, 10)]) == ["a", "c"]
+        assert grouped[(1, 20)] == ["b"]

@@ -1,0 +1,186 @@
+"""Wide (shuffle) transformations of the mini-Spark RDD."""
+
+import pytest
+
+from repro.minispark import Context, HashPartitioner
+
+
+class TestGroupByKey:
+    def test_groups_complete(self, ctx):
+        pairs = ctx.parallelize([(i % 3, i) for i in range(12)], 4)
+        grouped = dict(pairs.group_by_key().collect())
+        assert sorted(grouped[0]) == [0, 3, 6, 9]
+        assert sorted(grouped[2]) == [2, 5, 8, 11]
+
+    def test_keys_placed_by_partitioner(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(20)], 4)
+        grouped = pairs.group_by_key(num_partitions=5)
+        for index, part in enumerate(grouped.glom().collect()):
+            for key, _values in part:
+                assert key % 5 == index
+
+    def test_explicit_partitioner(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (6, "b")], 2)
+        grouped = pairs.group_by_key(partitioner=HashPartitioner(5))
+        assert grouped.num_partitions == 5
+
+
+class TestReduceByKey:
+    def test_sums(self, ctx):
+        pairs = ctx.parallelize([(i % 2, 1) for i in range(10)], 3)
+        assert dict(pairs.reduce_by_key(lambda a, b: a + b).collect()) == {
+            0: 5,
+            1: 5,
+        }
+
+    def test_single_value_keys_untouched(self, ctx):
+        pairs = ctx.parallelize([(1, "only")], 1)
+        assert pairs.reduce_by_key(lambda a, b: a + b).collect() == [(1, "only")]
+
+
+class TestAggregateCombine:
+    def test_aggregate_by_key(self, ctx):
+        pairs = ctx.parallelize([("x", 1), ("x", 2), ("y", 5)], 2)
+        result = dict(
+            pairs.aggregate_by_key(
+                0, lambda acc, v: acc + v, lambda a, b: a + b
+            ).collect()
+        )
+        assert result == {"x": 3, "y": 5}
+
+    def test_aggregate_by_key_mutable_zero_not_shared(self, ctx):
+        pairs = ctx.parallelize([("x", 1), ("y", 2), ("x", 3)], 1)
+        result = dict(
+            pairs.aggregate_by_key(
+                [], lambda acc, v: acc + [v], lambda a, b: a + b
+            ).collect()
+        )
+        assert sorted(result["x"]) == [1, 3]
+        assert result["y"] == [2]
+
+    def test_combine_by_key(self, ctx):
+        pairs = ctx.parallelize([("a", 2), ("a", 3), ("b", 4)], 2)
+        result = dict(
+            pairs.combine_by_key(
+                lambda v: (v, 1),
+                lambda acc, v: (acc[0] + v, acc[1] + 1),
+                lambda x, y: (x[0] + y[0], x[1] + y[1]),
+            ).collect()
+        )
+        assert result == {"a": (5, 2), "b": (4, 1)}
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, ctx):
+        rdd = ctx.parallelize([1, 2, 2, 3, 1, 3, 3], 3)
+        assert sorted(rdd.distinct().collect()) == [1, 2, 3]
+
+    def test_tuples(self, ctx):
+        rdd = ctx.parallelize([(1, 2), (1, 2), (2, 1)], 2)
+        assert sorted(rdd.distinct().collect()) == [(1, 2), (2, 1)]
+
+
+class TestJoins:
+    def test_inner_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b"), (2, "B")], 2)
+        b = ctx.parallelize([(2, "x"), (3, "y")], 2)
+        assert sorted(a.join(b).collect()) == [(2, ("B", "x")), (2, ("b", "x"))]
+
+    def test_join_no_overlap(self, ctx):
+        a = ctx.parallelize([(1, "a")], 1)
+        b = ctx.parallelize([(2, "b")], 1)
+        assert a.join(b).collect() == []
+
+    def test_left_outer_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        b = ctx.parallelize([(2, "x")], 1)
+        assert sorted(a.left_outer_join(b).collect()) == [
+            (1, ("a", None)),
+            (2, ("b", "x")),
+        ]
+
+    def test_cogroup(self, ctx):
+        a = ctx.parallelize([(1, "a"), (1, "A")], 2)
+        b = ctx.parallelize([(1, "x"), (2, "y")], 2)
+        grouped = dict(a.cogroup(b).collect())
+        assert sorted(grouped[1][0]) == ["A", "a"]
+        assert grouped[1][1] == ["x"]
+        assert grouped[2] == ([], ["y"])
+
+    def test_subtract_by_key(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b"), (3, "c")], 2)
+        b = ctx.parallelize([(2, None)], 1)
+        assert sorted(a.subtract_by_key(b).collect()) == [(1, "a"), (3, "c")]
+
+    def test_self_join(self, ctx):
+        a = ctx.parallelize([(1, "u"), (1, "v")], 2)
+        assert sorted(a.join(a).collect()) == [
+            (1, ("u", "u")),
+            (1, ("u", "v")),
+            (1, ("v", "u")),
+            (1, ("v", "v")),
+        ]
+
+
+class TestPartitioning:
+    def test_partition_by_places_keys(self, ctx):
+        pairs = ctx.parallelize([(i, None) for i in range(12)], 3)
+        placed = pairs.partition_by(HashPartitioner(4))
+        for index, part in enumerate(placed.glom().collect()):
+            assert all(key % 4 == index for key, _ in part)
+
+    def test_partition_by_same_partitioner_is_noop(self, ctx):
+        pairs = ctx.parallelize([(1, None)], 1)
+        placed = pairs.partition_by(HashPartitioner(4))
+        assert placed.partition_by(HashPartitioner(4)) is placed
+
+    def test_repartition_balances(self, ctx):
+        rdd = ctx.parallelize(range(100), 2).repartition(10)
+        sizes = [len(part) for part in rdd.glom().collect()]
+        assert sum(sizes) == 100
+        assert max(sizes) <= 2 * min(size for size in sizes if size)
+
+    def test_repartition_preserves_elements(self, ctx):
+        rdd = ctx.parallelize(range(30), 3).repartition(7)
+        assert sorted(rdd.collect()) == list(range(30))
+
+    def test_coalesce_reduces_partitions(self, ctx):
+        rdd = ctx.parallelize(range(12), 6).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(12))
+
+    def test_coalesce_never_increases(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).coalesce(8)
+        assert rdd.num_partitions == 2
+
+    def test_coalesce_invalid(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize(range(4), 2).coalesce(0)
+
+
+class TestSortBy:
+    def test_ascending(self, ctx):
+        rdd = ctx.parallelize([5, 3, 9, 1, 7, 2], 3)
+        assert rdd.sort_by(lambda x: x).collect() == [1, 2, 3, 5, 7, 9]
+
+    def test_descending(self, ctx):
+        rdd = ctx.parallelize([5, 3, 9, 1], 2)
+        assert rdd.sort_by(lambda x: x, ascending=False).collect() == [9, 5, 3, 1]
+
+    def test_by_custom_key(self, ctx):
+        rdd = ctx.parallelize(["bb", "a", "ccc"], 2)
+        assert rdd.sort_by(len).collect() == ["a", "bb", "ccc"]
+
+    def test_single_partition(self, ctx):
+        rdd = ctx.parallelize([3, 1, 2], 2)
+        assert rdd.sort_by(lambda x: x, num_partitions=1).collect() == [1, 2, 3]
+
+    def test_with_duplicates(self, ctx):
+        rdd = ctx.parallelize([2, 1, 2, 1, 2], 3)
+        assert rdd.sort_by(lambda x: x).collect() == [1, 1, 2, 2, 2]
+
+
+class TestCountByKey:
+    def test_counts(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 9)], 2)
+        assert pairs.count_by_key() == {"a": 2, "b": 1}

@@ -1,0 +1,109 @@
+"""Scheduler stage structure and metrics collection."""
+
+from repro.minispark import Context
+from repro.minispark.metrics import JobMetrics, StageMetrics
+
+
+class TestStageStructure:
+    def test_narrow_chain_is_one_stage(self, ctx):
+        ctx.parallelize(range(10), 3).map(lambda x: x).filter(bool).collect()
+        job = ctx.metrics.jobs[-1]
+        assert len(job.stages) == 1
+        assert job.stages[0].name.startswith("result:")
+
+    def test_shuffle_adds_map_stage(self, ctx):
+        pairs = ctx.parallelize([(1, 2)], 2)
+        pairs.group_by_key().collect()
+        job = ctx.metrics.jobs[-1]
+        assert len(job.stages) == 2
+        assert job.stages[0].name.startswith("shuffle:")
+
+    def test_two_shuffles_three_stages(self, ctx):
+        pairs = ctx.parallelize([(i % 3, i) for i in range(9)], 3)
+        pairs.group_by_key().map(lambda kv: (kv[0], len(kv[1]))).group_by_key().collect()
+        job = ctx.metrics.jobs[-1]
+        assert len(job.stages) == 3
+
+    def test_task_count_matches_partitions(self, ctx):
+        ctx.parallelize(range(12), 4).collect()
+        stage = ctx.metrics.jobs[-1].stages[0]
+        assert stage.num_tasks == 4
+
+    def test_join_materializes_both_sides(self, ctx):
+        a = ctx.parallelize([(i, "a") for i in range(6)], 2)
+        b = ctx.parallelize([(i, "b") for i in range(6)], 3)
+        a.join(b).collect()
+        job = ctx.metrics.jobs[-1]
+        shuffle_stages = [s for s in job.stages if s.name.startswith("shuffle:")]
+        assert len(shuffle_stages) == 2
+        assert {s.num_tasks for s in shuffle_stages} == {2, 3}
+
+
+class TestRecordCounts:
+    def test_shuffle_records_counted(self, ctx):
+        pairs = ctx.parallelize([(i % 2, i) for i in range(10)], 2)
+        pairs.partition_by_records = pairs.group_by_key().collect()
+        stage = ctx.metrics.jobs[-1].stages[0]
+        # Map-side combining collapses 10 records to one combiner per
+        # (key, map task): 2 keys x 2 tasks = at most 4 shuffled records.
+        assert 2 <= stage.shuffle_records <= 4
+        assert stage.records_in == 10
+
+    def test_result_records_counted(self, ctx):
+        ctx.parallelize(range(7), 2).collect()
+        assert ctx.metrics.jobs[-1].stages[-1].records_out == 7
+
+
+class TestMetricsObjects:
+    def test_skew_ratio_balanced(self):
+        stage = StageMetrics("s", task_seconds=[1.0, 1.0, 1.0])
+        assert stage.skew_ratio() == 1.0
+
+    def test_skew_ratio_skewed(self):
+        stage = StageMetrics("s", task_seconds=[3.0, 1.0, 2.0])
+        assert stage.skew_ratio() == 1.5
+
+    def test_skew_ratio_empty(self):
+        assert StageMetrics("s").skew_ratio() == 1.0
+
+    def test_job_totals(self):
+        job = JobMetrics("j")
+        first = job.new_stage("a")
+        first.task_seconds.extend([0.5, 0.5])
+        first.shuffle_records = 10
+        second = job.new_stage("b")
+        second.task_seconds.append(1.0)
+        assert job.total_task_seconds == 2.0
+        assert job.total_shuffle_records == 10
+        assert job.num_tasks == 3
+
+    def test_merge_appends_stages(self):
+        a = JobMetrics("a")
+        a.new_stage("x")
+        b = JobMetrics("b")
+        b.new_stage("y")
+        a.merge(b)
+        assert [s.name for s in a.stages] == ["x", "y"]
+
+    def test_collector_combined_and_reset(self, ctx):
+        ctx.parallelize([1], 1).collect()
+        ctx.parallelize([2], 1).collect()
+        assert len(ctx.metrics.jobs) == 2
+        combined = ctx.metrics.combined()
+        assert combined.num_tasks == 2
+        ctx.reset_metrics()
+        assert ctx.metrics.jobs == []
+
+
+class TestAccumulator:
+    def test_add(self, ctx):
+        acc = ctx.accumulator()
+        rdd = ctx.parallelize(range(5), 2)
+        rdd.foreach(lambda _x: acc.add())
+        assert acc.value == 5
+
+    def test_initial_and_amount(self, ctx):
+        acc = ctx.accumulator(10)
+        acc.add(5)
+        assert acc.value == 15
+        assert "15" in repr(acc)

@@ -1,0 +1,130 @@
+"""Range search: the PrefixIndex and the CoarseIndex of prior work [18]."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rankings import Ranking, RankingDataset
+from repro.search import CoarseIndex, PrefixIndex, range_search_bruteforce
+
+
+def _result_ids(results):
+    return {(r.rid, d) for r, d in results}
+
+
+class TestPrefixIndex:
+    @pytest.mark.parametrize("theta", (0.05, 0.1, 0.2, 0.3, 0.4))
+    def test_matches_linear_scan(self, small_dblp, theta):
+        index = PrefixIndex(small_dblp, theta_max=0.4)
+        for query in small_dblp.rankings[:30]:
+            truth = range_search_bruteforce(small_dblp, query, theta)
+            assert _result_ids(index.query(query, theta)) == _result_ids(truth)
+
+    def test_external_query_ranking(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.3)
+        query = Ranking(10**6, small_dblp[0].items)
+        results = index.query(query, 0.0, include_self=True)
+        assert small_dblp[0].rid in {r.rid for r, _d in results}
+
+    def test_include_self(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.2)
+        query = small_dblp[0]
+        without = index.query(query, 0.1)
+        with_self = index.query(query, 0.1, include_self=True)
+        assert query.rid not in {r.rid for r, _d in without}
+        assert query.rid in {r.rid for r, _d in with_self}
+
+    def test_results_sorted_by_distance(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.4)
+        distances = [d for _r, d in index.query(small_dblp[0], 0.4)]
+        assert distances == sorted(distances)
+
+    def test_theta_above_max_rejected(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.2)
+        with pytest.raises(ValueError, match="theta_max"):
+            index.query(small_dblp[0], 0.3)
+
+    def test_wrong_query_length_rejected(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.2)
+        with pytest.raises(ValueError, match="length"):
+            index.query(Ranking(0, [1, 2, 3]), 0.1)
+
+    def test_invalid_theta_max(self, small_dblp):
+        with pytest.raises(ValueError):
+            PrefixIndex(small_dblp, theta_max=1.5)
+
+    def test_stats_accumulate(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.3)
+        index.query(small_dblp[0], 0.3)
+        assert index.stats.candidates > 0
+        assert index.stats.candidates >= index.stats.verified
+
+    def test_index_size_properties(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=0.3)
+        assert len(index) == len(small_dblp)
+        assert index.num_posting_lists > 0
+
+
+class TestCoarseIndex:
+    @pytest.mark.parametrize("theta", (0.05, 0.1, 0.2, 0.3, 0.4))
+    def test_matches_linear_scan(self, small_dblp, theta):
+        index = CoarseIndex(small_dblp, theta_max=0.4, theta_c=0.03)
+        for query in small_dblp.rankings[:30]:
+            truth = range_search_bruteforce(small_dblp, query, theta)
+            assert _result_ids(index.query(query, theta)) == _result_ids(truth)
+
+    @pytest.mark.parametrize("theta_c", (0.0, 0.05, 0.1))
+    def test_any_clustering_threshold_is_exact(self, small_dblp, theta_c):
+        index = CoarseIndex(small_dblp, theta_max=0.3, theta_c=theta_c)
+        for query in small_dblp.rankings[:15]:
+            truth = range_search_bruteforce(small_dblp, query, 0.25)
+            assert _result_ids(index.query(query, 0.25)) == _result_ids(truth)
+
+    def test_cluster_structure_exposed(self, small_dblp):
+        index = CoarseIndex(small_dblp, theta_max=0.3, theta_c=0.05)
+        assert index.num_clusters > 0
+        assert index.num_singletons > 0
+        assert index.num_clusters + index.num_singletons <= len(small_dblp)
+
+    def test_cluster_pruning_saves_verifications(self, small_dblp):
+        """The coarse index's point: members resolved without verification."""
+        coarse = CoarseIndex(small_dblp, theta_max=0.3, theta_c=0.03)
+        for query in small_dblp.rankings[:30]:
+            coarse.query(query, 0.25)
+        assert coarse.stats.triangle_accepted > 0
+        # Members settled by the triangle inequality were never verified:
+        # total member verifications stay below the accepted+verified sum.
+        assert coarse.stats.verified < (
+            coarse.stats.verified + coarse.stats.triangle_accepted
+        )
+
+    def test_invalid_theta_c(self, small_dblp):
+        with pytest.raises(ValueError, match="theta_c"):
+            CoarseIndex(small_dblp, theta_max=0.2, theta_c=0.3)
+
+    def test_theta_above_max_rejected(self, small_dblp):
+        index = CoarseIndex(small_dblp, theta_max=0.2)
+        with pytest.raises(ValueError):
+            index.query(small_dblp[0], 0.25)
+
+
+DOMAIN = list(range(12))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.permutations(DOMAIN).map(lambda p: tuple(p[:5])),
+        min_size=2,
+        max_size=12,
+    ),
+    st.sampled_from([0.0, 0.1, 0.25, 0.4]),
+)
+def test_both_indexes_exact_on_random_data(rows, theta):
+    dataset = RankingDataset([Ranking(i, r) for i, r in enumerate(rows)])
+    prefix_index = PrefixIndex(dataset, theta_max=0.4)
+    coarse_index = CoarseIndex(dataset, theta_max=0.4, theta_c=0.05)
+    for query in dataset.rankings[:4]:
+        truth = _result_ids(range_search_bruteforce(dataset, query, theta))
+        assert _result_ids(prefix_index.query(query, theta)) == truth
+        assert _result_ids(coarse_index.query(query, theta)) == truth

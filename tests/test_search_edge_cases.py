@@ -1,0 +1,83 @@
+"""Edge cases of the range-search indexes."""
+
+import pytest
+
+from repro.rankings import Ranking, RankingDataset
+from repro.search import CoarseIndex, PrefixIndex, range_search_bruteforce
+
+
+def _ids(results):
+    return {(r.rid, d) for r, d in results}
+
+
+class TestDegenerateDatasets:
+    def test_all_duplicates_no_singletons(self):
+        """Every ranking clusters; the singleton index must stay absent."""
+        dataset = RankingDataset(
+            [Ranking(i, [1, 2, 3, 4, 5]) for i in range(6)]
+        )
+        index = CoarseIndex(dataset, theta_max=0.3, theta_c=0.03)
+        assert index.num_singletons == 0
+        # The paper's construction makes clusters overlap: every ranking
+        # that is the smaller id of some pair becomes a centroid.
+        assert index.num_clusters == 5
+        results = index.query(dataset[0], 0.0)
+        assert {r.rid for r, _d in results} == {1, 2, 3, 4, 5}
+
+    def test_all_distinct_no_clusters(self):
+        """Nothing clusters; everything goes through the singleton index."""
+        dataset = RankingDataset(
+            [
+                Ranking(0, [1, 2, 3]),
+                Ranking(1, [4, 5, 6]),
+                Ranking(2, [7, 8, 9]),
+            ]
+        )
+        index = CoarseIndex(dataset, theta_max=0.3, theta_c=0.03)
+        assert index.num_clusters == 0
+        assert index.num_singletons == 3
+        assert index.query(dataset[0], 0.3) == []
+
+    def test_single_ranking_dataset(self):
+        dataset = RankingDataset([Ranking(0, [1, 2, 3])])
+        index = PrefixIndex(dataset, theta_max=0.2)
+        assert index.query(dataset[0], 0.2) == []
+        assert index.query(dataset[0], 0.2, include_self=True) == [
+            (dataset[0], 0)
+        ]
+
+    def test_theta_zero_finds_exact_duplicates_only(self):
+        dataset = RankingDataset(
+            [
+                Ranking(0, [1, 2, 3]),
+                Ranking(1, [1, 2, 3]),
+                Ranking(2, [2, 1, 3]),
+            ]
+        )
+        for index in (
+            PrefixIndex(dataset, theta_max=0.3),
+            CoarseIndex(dataset, theta_max=0.3, theta_c=0.1),
+        ):
+            results = index.query(dataset[0], 0.0)
+            assert {r.rid for r, _d in results} == {1}
+
+    def test_theta_max_one_supported(self, small_dblp):
+        index = PrefixIndex(small_dblp, theta_max=1.0)
+        truth = range_search_bruteforce(small_dblp, small_dblp[0], 0.9)
+        assert _ids(index.query(small_dblp[0], 0.9)) == _ids(truth)
+
+
+class TestCoarseMatchesPrefixOnRealData:
+    @pytest.mark.parametrize("theta", (0.0, 0.15, 0.3))
+    def test_agreement(self, small_orku, theta):
+        prefix_index = PrefixIndex(small_orku, theta_max=0.3)
+        coarse_index = CoarseIndex(small_orku, theta_max=0.3, theta_c=0.03)
+        for query in small_orku.rankings[:20]:
+            assert _ids(prefix_index.query(query, theta)) == _ids(
+                coarse_index.query(query, theta)
+            )
+
+    def test_stats_total_verifications(self, small_orku):
+        coarse_index = CoarseIndex(small_orku, theta_max=0.3, theta_c=0.03)
+        coarse_index.query(small_orku[0], 0.2)
+        assert coarse_index.total_verifications >= coarse_index.stats.verified

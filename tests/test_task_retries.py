@@ -1,0 +1,84 @@
+"""Task retry semantics: the resilience half of "RDD"."""
+
+import pytest
+
+from repro.minispark import Context
+
+
+class Flaky:
+    """Raises on the first N calls for a given partition element."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls: dict = {}
+
+    def __call__(self, x):
+        count = self.calls.get(x, 0)
+        self.calls[x] = count + 1
+        if count < self.failures:
+            raise RuntimeError(f"transient failure for {x}")
+        return x
+
+
+class TestResultStageRetries:
+    def test_transient_failure_recovers(self):
+        ctx = Context(4, task_retries=2)
+        flaky = Flaky(failures=1)
+        assert sorted(ctx.parallelize([1, 2, 3], 3).map(flaky).collect()) == [
+            1, 2, 3,
+        ]
+
+    def test_failures_counted_in_metrics(self):
+        ctx = Context(4, task_retries=2)
+        flaky = Flaky(failures=1)
+        ctx.parallelize([1, 2], 2).map(flaky).collect()
+        stage = ctx.metrics.jobs[-1].stages[-1]
+        assert stage.task_failures == 2
+        # Each failed attempt is timed too.
+        assert stage.num_tasks == 4
+
+    def test_exhausted_retries_raise(self):
+        ctx = Context(4, task_retries=1)
+        flaky = Flaky(failures=5)
+        with pytest.raises(RuntimeError, match="transient"):
+            ctx.parallelize([1], 1).map(flaky).collect()
+
+    def test_default_is_fail_fast(self):
+        ctx = Context(4)
+        flaky = Flaky(failures=1)
+        with pytest.raises(RuntimeError):
+            ctx.parallelize([1], 1).map(flaky).collect()
+
+
+class TestShuffleStageRetries:
+    def test_map_side_retry_does_not_duplicate_records(self):
+        """A failed map attempt's partial buckets must be discarded."""
+        ctx = Context(4, task_retries=2)
+        calls = {"count": 0}
+
+        def explode_once(x):
+            # Emit a pair, then fail the first attempt of partition 0 after
+            # having produced output — the dangerous partial-spill case.
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("mid-task crash")
+            return (x % 2, x)
+
+        rdd = ctx.parallelize([0, 1, 2, 3], 1).map(explode_once)
+        grouped = dict(rdd.group_by_key().collect())
+        values = sorted(v for vs in grouped.values() for v in vs)
+        assert values == [0, 1, 2, 3], "no duplicates, no losses"
+
+    def test_shuffle_failure_metrics(self):
+        ctx = Context(4, task_retries=3)
+        flaky = Flaky(failures=2)
+        pairs = ctx.parallelize([5], 1).map(flaky).map(lambda x: (x, x))
+        pairs.group_by_key().collect()
+        shuffle_stage = ctx.metrics.jobs[-1].stages[0]
+        assert shuffle_stage.task_failures == 2
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            Context(4, task_retries=-1)

@@ -1,0 +1,137 @@
+"""Variable-length rankings (the footnote 1 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rankings import (
+    Ranking,
+    footrule,
+    footrule_variable,
+    max_footrule_variable,
+    max_length_difference,
+    min_footrule_for_lengths,
+    variable_length_join,
+)
+
+
+class TestFootruleVariable:
+    def test_reduces_to_fixed_length(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        assert footrule_variable(tau1, tau2) == footrule(tau1, tau2) == 16
+
+    def test_prefix_extension_minimum(self):
+        """[1,2,3] vs [1,2,3,4,5]: extra items pay (pos - 3)."""
+        short = Ranking(0, [1, 2, 3])
+        long = Ranking(1, [1, 2, 3, 4, 5])
+        # item 4 at pos 3: |3-3| = 0; item 5 at pos 4: |4-3| = 1.
+        assert footrule_variable(short, long) == 1
+        assert footrule_variable(short, long) == min_footrule_for_lengths(3, 5)
+
+    def test_symmetry(self):
+        a = Ranking(0, [1, 2, 3])
+        b = Ranking(1, [3, 1, 5, 6])
+        assert footrule_variable(a, b) == footrule_variable(b, a)
+
+    def test_disjoint_reaches_maximum(self):
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [7, 8, 9])
+        assert footrule_variable(a, b) == max_footrule_variable(2, 3)
+
+    def test_max_footrule_variable_fixed_case(self):
+        assert max_footrule_variable(5, 5) == 30  # k(k+1)
+
+    def test_max_footrule_variable_validates(self):
+        with pytest.raises(ValueError):
+            max_footrule_variable(0, 3)
+
+
+class TestLengthBounds:
+    def test_min_footrule_for_lengths(self):
+        assert min_footrule_for_lengths(5, 5) == 0
+        assert min_footrule_for_lengths(3, 5) == 1
+        assert min_footrule_for_lengths(3, 8) == 10
+
+    def test_max_length_difference_inverts(self):
+        for theta_raw in range(0, 60):
+            d = max_length_difference(theta_raw)
+            assert min_footrule_for_lengths(1, 1 + d) <= theta_raw
+            # d + 1 would violate the bound (or the formula is not tight):
+            assert min_footrule_for_lengths(1, 2 + d) > theta_raw or d >= 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            max_length_difference(-1)
+
+
+def _variable_bruteforce(rankings, theta_raw):
+    rankings = sorted(rankings, key=lambda r: r.rid)
+    truth = set()
+    for i, a in enumerate(rankings):
+        for b in rankings[i + 1 :]:
+            if footrule_variable(a, b) <= theta_raw:
+                truth.add((a.rid, b.rid))
+    return truth
+
+
+class TestVariableLengthJoin:
+    def _mixed_rankings(self):
+        return [
+            Ranking(0, [1, 2, 3]),
+            Ranking(1, [1, 2, 3, 4]),
+            Ranking(2, [1, 2, 3, 4, 5]),
+            Ranking(3, [9, 8, 7]),
+            Ranking(4, [2, 1, 3]),
+            Ranking(5, [5, 4, 3, 2, 1, 0]),
+        ]
+
+    @pytest.mark.parametrize("theta_raw", (0, 2, 5, 10, 30, 100))
+    def test_matches_bruteforce(self, theta_raw):
+        rankings = self._mixed_rankings()
+        truth = _variable_bruteforce(rankings, theta_raw)
+        assert variable_length_join(rankings, theta_raw).pair_set() == truth
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            variable_length_join([], 5)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            variable_length_join(
+                [Ranking(0, [1]), Ranking(0, [2])], 5
+            )
+
+
+DOMAIN = list(range(10))
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.permutations(DOMAIN), st.integers(min_value=1, max_value=6)
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=80),
+)
+def test_variable_join_exact_on_random_mixed_lengths(rows, theta_raw):
+    rankings = [
+        Ranking(rid, permutation[:length])
+        for rid, (permutation, length) in enumerate(rows)
+    ]
+    truth = _variable_bruteforce(rankings, theta_raw)
+    assert variable_length_join(rankings, theta_raw).pair_set() == truth
+
+
+@settings(max_examples=150)
+@given(
+    st.permutations(DOMAIN),
+    st.integers(min_value=1, max_value=9),
+    st.integers(min_value=1, max_value=9),
+)
+def test_min_footrule_for_lengths_is_a_lower_bound(permutation, k_a, k_b):
+    a = Ranking(0, permutation[:k_a])
+    b = Ranking(1, permutation[:k_b])
+    assert footrule_variable(a, b) >= min_footrule_for_lengths(k_a, k_b)

@@ -1,0 +1,147 @@
+"""Verification helpers and the join result types."""
+
+import pytest
+
+from repro.joins import (
+    JoinResult,
+    JoinStats,
+    canonical_pair,
+    check_pair,
+    triangle_bounds,
+    verify,
+    violates_position_filter,
+)
+from repro.rankings import Ranking, RankingDataset, footrule
+
+
+class TestCanonicalPair:
+    def test_orders_ascending(self):
+        assert canonical_pair(5, 2) == (2, 5)
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+
+class TestVerify:
+    def test_matches_footrule_when_within(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        assert verify(tau1, tau2, 16) == footrule(tau1, tau2) == 16
+
+    def test_none_when_beyond(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        assert verify(tau1, tau2, 15) is None
+
+    def test_zero_threshold(self):
+        a = Ranking(0, [1, 2])
+        assert verify(a, Ranking(1, [1, 2]), 0) == 0
+        assert verify(a, Ranking(1, [2, 1]), 0) is None
+
+
+class TestPositionFilter:
+    def test_violation_detected(self):
+        # Item 1 at rank 0 vs rank 4: displacement 4 > 6/2.
+        a = Ranking(0, [1, 2, 3, 4, 5])
+        b = Ranking(1, [2, 3, 4, 5, 1])
+        assert violates_position_filter(a, b, 6)
+
+    def test_no_shared_items_never_violates(self):
+        a = Ranking(0, [1, 2])
+        b = Ranking(1, [3, 4])
+        assert not violates_position_filter(a, b, 0.5)
+
+    def test_soundness_on_example(self):
+        """Whenever the filter fires, the distance really exceeds theta."""
+        a = Ranking(0, [1, 2, 3, 4, 5])
+        b = Ranking(1, [2, 3, 4, 5, 1])
+        theta = 6
+        assert violates_position_filter(a, b, theta)
+        assert footrule(a, b) > theta
+
+
+class TestCheckPair:
+    def test_counts_and_returns_distance(self, paper_rankings):
+        tau1, tau2, _ = paper_rankings
+        stats = JoinStats()
+        assert check_pair(tau1, tau2, 20, stats) == 16
+        assert stats.candidates == 1
+        assert stats.verified == 1
+        assert stats.results == 1
+
+    def test_position_filtered_pair_not_verified(self):
+        a = Ranking(0, [1, 2, 3, 4, 5])
+        b = Ranking(1, [2, 3, 4, 5, 1])
+        stats = JoinStats()
+        assert check_pair(a, b, 6, stats) is None
+        assert stats.position_filtered == 1
+        assert stats.verified == 0
+
+    def test_filter_can_be_disabled(self):
+        a = Ranking(0, [1, 2, 3, 4, 5])
+        b = Ranking(1, [2, 3, 4, 5, 1])
+        stats = JoinStats()
+        check_pair(a, b, 6, stats, use_position_filter=False)
+        assert stats.position_filtered == 0
+        assert stats.verified == 1
+
+
+class TestTriangleBounds:
+    def test_bounds(self):
+        lower, upper = triangle_bounds(10, 3)
+        assert (lower, upper) == (7, 13)
+
+    def test_lower_is_absolute(self):
+        lower, _upper = triangle_bounds(3, 10)
+        assert lower == 7
+
+
+class TestJoinStats:
+    def test_merge_adds_fields(self):
+        a = JoinStats(candidates=2, verified=1)
+        b = JoinStats(candidates=3, results=4)
+        a.merge(b)
+        assert a.candidates == 5
+        assert a.verified == 1
+        assert a.results == 4
+
+
+class TestJoinResult:
+    def _result(self):
+        return JoinResult(
+            pairs=[(1, 2, 4), (2, 3, None)],
+            theta=0.2,
+            k=5,
+            phase_seconds={"a": 1.0, "b": 0.5},
+        )
+
+    def test_pair_set(self):
+        assert self._result().pair_set() == {(1, 2), (2, 3)}
+
+    def test_len(self):
+        assert len(self._result()) == 2
+
+    def test_theta_raw(self):
+        assert self._result().theta_raw == pytest.approx(0.2 * 30)
+
+    def test_total_seconds(self):
+        assert self._result().total_seconds == 1.5
+
+    def test_normalized_pairs_keep_none(self):
+        normalized = self._result().normalized_pairs()
+        assert normalized[0] == (1, 2, pytest.approx(4 / 30))
+        assert normalized[1][2] is None
+
+    def test_with_distances_fills_nones(self):
+        dataset = RankingDataset(
+            [
+                Ranking(1, [1, 2, 3, 4, 5]),
+                Ranking(2, [1, 2, 3, 4, 5]),
+                Ranking(3, [2, 1, 3, 4, 5]),
+            ]
+        )
+        result = JoinResult(
+            pairs=[(1, 2, 0), (2, 3, None)], theta=0.5, k=5
+        )
+        filled = result.with_distances(dataset)
+        assert filled.pairs == [(1, 2, 0), (2, 3, 2)]

@@ -1,0 +1,134 @@
+"""The distributed VJ / VJ-NL algorithms against the brute-force truth."""
+
+import pytest
+
+from repro.joins import bruteforce_join, vj_join, vj_nl_join
+from repro.minispark import Context
+
+THETAS = (0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+@pytest.fixture
+def truth_dblp(small_dblp):
+    return {
+        theta: bruteforce_join(small_dblp, theta).pair_set()
+        for theta in THETAS
+    }
+
+
+class TestVJCorrectness:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_indexed_variant(self, small_dblp, truth_dblp, theta):
+        result = vj_join(Context(4), small_dblp, theta)
+        assert result.pair_set() == truth_dblp[theta]
+
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_nested_loop_variant(self, small_dblp, truth_dblp, theta):
+        result = vj_join(Context(4), small_dblp, theta, variant="nl")
+        assert result.pair_set() == truth_dblp[theta]
+
+    @pytest.mark.parametrize("theta", (0.1, 0.3))
+    def test_ordered_prefix(self, small_dblp, truth_dblp, theta):
+        result = vj_join(Context(4), small_dblp, theta, prefix="ordered")
+        assert result.pair_set() == truth_dblp[theta]
+
+    def test_without_position_filter(self, small_dblp, truth_dblp):
+        result = vj_join(
+            Context(4), small_dblp, 0.2, use_position_filter=False
+        )
+        assert result.pair_set() == truth_dblp[0.2]
+
+    @pytest.mark.parametrize("num_partitions", (1, 3, 16))
+    def test_partition_count_invariance(
+        self, small_dblp, truth_dblp, num_partitions
+    ):
+        result = vj_join(Context(4), small_dblp, 0.3, num_partitions)
+        assert result.pair_set() == truth_dblp[0.3]
+
+    def test_orku_profile(self, small_orku):
+        truth = bruteforce_join(small_orku, 0.3).pair_set()
+        assert vj_join(Context(4), small_orku, 0.3).pair_set() == truth
+
+    def test_alias_function(self, small_dblp, truth_dblp):
+        result = vj_nl_join(Context(4), small_dblp, 0.2)
+        assert result.pair_set() == truth_dblp[0.2]
+        assert result.algorithm == "vj-nl"
+
+
+class TestVJWithRepartitioning:
+    @pytest.mark.parametrize("delta", (2, 5, 20, 1000))
+    def test_any_delta_is_exact(self, small_dblp, delta):
+        truth = bruteforce_join(small_dblp, 0.3).pair_set()
+        result = vj_join(
+            Context(4), small_dblp, 0.3, partition_threshold=delta
+        )
+        assert result.pair_set() == truth
+
+    def test_repartitioned_group_counter(self, small_dblp):
+        result = vj_join(
+            Context(4), small_dblp, 0.4, partition_threshold=3
+        )
+        assert result.stats.repartitioned_groups > 0
+
+    def test_huge_delta_splits_nothing(self, small_dblp):
+        result = vj_join(
+            Context(4), small_dblp, 0.2, partition_threshold=10**6
+        )
+        assert result.stats.repartitioned_groups == 0
+
+    def test_delta_must_exceed_one(self, small_dblp):
+        with pytest.raises(ValueError, match="partition_threshold"):
+            vj_join(Context(4), small_dblp, 0.2, partition_threshold=1)
+
+    def test_algorithm_name_reflects_repartitioning(self, small_dblp):
+        result = vj_join(Context(4), small_dblp, 0.2, partition_threshold=10)
+        assert result.algorithm == "vj+repartition"
+
+
+class TestVJProperties:
+    def test_no_duplicate_pairs(self, medium_dblp):
+        pairs = vj_join(Context(4), medium_dblp, 0.3).pairs
+        keys = [(i, j) for i, j, _ in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_pairs_are_canonical(self, small_dblp):
+        for i, j, _d in vj_join(Context(4), small_dblp, 0.3).pairs:
+            assert i < j
+
+    def test_distances_verified(self, small_dblp):
+        from repro.rankings import footrule
+
+        by_id = small_dblp.by_id()
+        for i, j, d in vj_join(Context(4), small_dblp, 0.3).pairs:
+            assert d == footrule(by_id[i], by_id[j])
+            assert d <= 0.3 * 110
+
+    def test_stats_populated(self, small_dblp):
+        result = vj_join(Context(4), small_dblp, 0.2)
+        assert result.stats.candidates >= result.stats.verified
+        assert result.stats.results == len(result)
+
+    def test_phase_timings_present(self, small_dblp):
+        result = vj_join(Context(4), small_dblp, 0.2)
+        assert set(result.phase_seconds) == {"ordering", "join"}
+        assert all(v >= 0 for v in result.phase_seconds.values())
+
+    def test_invalid_variant_rejected(self, small_dblp):
+        with pytest.raises(ValueError, match="variant"):
+            vj_join(Context(4), small_dblp, 0.2, variant="wat")
+
+    def test_empty_result_at_tiny_threshold(self):
+        from repro.rankings import RankingDataset, Ranking
+
+        dataset = RankingDataset(
+            [Ranking(0, [1, 2, 3]), Ranking(1, [4, 5, 6])]
+        )
+        assert vj_join(Context(2), dataset, 0.1).pair_set() == set()
+
+    def test_exact_duplicates_found_at_theta_zero(self):
+        from repro.rankings import RankingDataset, Ranking
+
+        dataset = RankingDataset(
+            [Ranking(0, [1, 2, 3]), Ranking(1, [1, 2, 3]), Ranking(2, [9, 2, 3])]
+        )
+        assert vj_join(Context(2), dataset, 0.0).pair_set() == {(0, 1)}

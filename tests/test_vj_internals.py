@@ -1,0 +1,87 @@
+"""White-box tests of the VJ pipeline's building blocks."""
+
+from repro.joins.types import JoinStats
+from repro.joins.vj import make_kernels, order_rankings_rdd
+from repro.minispark import Context
+from repro.rankings import Ranking, item_frequencies
+
+
+class TestOrderRankingsRdd:
+    def _rankings(self):
+        return [
+            Ranking(0, [1, 2, 3]),
+            Ranking(1, [2, 3, 4]),
+            Ranking(2, [3, 4, 5]),
+        ]
+
+    def test_frequency_order_matches_local_ordering(self):
+        ctx = Context(2)
+        rankings = self._rankings()
+        ordered = order_rankings_rdd(
+            ctx, ctx.parallelize(rankings, 2)
+        ).collect()
+        frequencies = item_frequencies(rankings)
+        for o in ordered:
+            counts = [frequencies[item] for item, _rank in o.pairs]
+            assert counts == sorted(counts)
+
+    def test_ordering_runs_a_frequency_job(self):
+        ctx = Context(2)
+        order_rankings_rdd(ctx, ctx.parallelize(self._rankings(), 2)).collect()
+        # At least two jobs: the reduceByKey collect + the final collect.
+        assert len(ctx.metrics.jobs) >= 2
+
+    def test_rank_order_prefix_skips_frequency_job(self):
+        ctx = Context(2)
+        ordered = order_rankings_rdd(
+            ctx, ctx.parallelize(self._rankings(), 2), prefix="ordered"
+        ).collect()
+        assert len(ctx.metrics.jobs) == 1  # only the collect itself
+        # Canonical order is the rank order.
+        for o in ordered:
+            assert [item for item, _rank in o.pairs] == list(o.ranking.items)
+            assert [rank for _item, rank in o.pairs] == list(
+                range(o.ranking.k)
+            )
+
+
+class TestMakeKernels:
+    def _group(self):
+        """A posting-list group: every member contains the key item 1."""
+        from repro.rankings import order_dataset
+
+        rankings = [
+            Ranking(0, [1, 2, 3, 4, 5]),
+            Ranking(1, [1, 2, 3, 4, 5]),
+            Ranking(2, [9, 8, 7, 6, 1]),
+        ]
+        return order_dataset(rankings)
+
+    def test_index_and_nl_kernels_agree(self):
+        group = self._group()
+        for variant in ("index", "nl"):
+            kernel, _rs = make_kernels(
+                variant, prefix_size=5, theta_raw=10, stats=JoinStats(),
+                use_position_filter=True,
+            )
+            found = {pair for pair, _d in kernel(1, group)}
+            assert found == {(0, 1)}, variant
+
+    def test_rs_kernel_respects_threshold(self):
+        group = self._group()
+        _kernel, rs = make_kernels(
+            "nl", prefix_size=5, theta_raw=10, stats=JoinStats(),
+            use_position_filter=True,
+        )
+        found = {pair for pair, _d in rs(1, group[:1], group[1:])}
+        assert found == {(0, 1)}
+
+    def test_stats_shared_between_kernels(self):
+        stats = JoinStats()
+        kernel, rs = make_kernels(
+            "nl", prefix_size=5, theta_raw=10, stats=stats,
+            use_position_filter=True,
+        )
+        list(kernel(1, self._group()))
+        list(rs(1, self._group()[:1], self._group()[1:]))
+        assert stats.candidates > 0
