@@ -1,0 +1,107 @@
+"""Executor backend comparison: serial vs threads vs processes.
+
+A Figure-6(a)-style workload (DBLP, theta sweep, VJ-NL — the verification-
+heavy hot path) run once per execution backend.  Reports measured wall
+time per backend plus the simulated Table-3 cluster makespan, and writes
+the raw numbers to ``results/BENCH_executor_backends.json`` so the perf
+trajectory is tracked across PRs.
+
+Expected shape: backends agree exactly on result counts; on multi-core
+hardware ``processes`` (no GIL sharing) beats ``serial`` wall time, while
+single-core containers show parity — the JSON records the machine's CPU
+count so the two situations are distinguishable after the fact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    RunConfig,
+    format_series_table,
+    run,
+    speedup,
+    write_bench_json,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+THETAS = [0.1, 0.2, 0.3]
+BACKENDS = ["serial", "threads", "processes"]
+
+
+def _available_backends():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return BACKENDS
+    return [name for name in BACKENDS if name != "processes"]
+
+
+@pytest.mark.benchmark(group="executors")
+def test_executor_backends(benchmark, report):
+    backends = _available_backends()
+
+    def sweep():
+        records = {}
+        for backend in backends:
+            records[backend] = [
+                run(
+                    RunConfig(
+                        algorithm="vj-nl",
+                        workload="dblp",
+                        theta=theta,
+                        num_partitions=64,
+                        executor=backend,
+                        max_workers=None if backend == "serial" else 4,
+                    )
+                )
+                for theta in THETAS
+            ]
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = {
+        backend: [record.wall_seconds for record in backend_records]
+        for backend, backend_records in records.items()
+    }
+    lines = [
+        format_series_table(
+            "Executor backends: VJ-NL on DBLP, wall time vs theta",
+            "theta", THETAS, table,
+        )
+    ]
+    cpus = os.cpu_count() or 1
+    summary: dict = {"cpu_count": cpus, "thetas": THETAS}
+    for backend in backends:
+        if backend == "serial":
+            continue
+        factors = [
+            speedup(serial_record.wall_seconds, record.wall_seconds)
+            for serial_record, record in zip(records["serial"], records[backend])
+        ]
+        usable = [f for f in factors if f is not None]
+        mean = sum(usable) / len(usable) if usable else None
+        summary[f"{backend}_speedup_over_serial"] = mean
+        if mean is not None:
+            lines.append(
+                f"{backend}: x{mean:.2f} mean wall-time speedup over serial "
+                f"({cpus} CPU core{'s' if cpus != 1 else ''} available)"
+            )
+    report("executor_backends", "\n".join(lines))
+
+    flat_records = [r for backend in backends for r in records[backend]]
+    write_bench_json(
+        RESULTS_DIR, "executor_backends", flat_records, extra=summary
+    )
+
+    # Backends must agree exactly — the speedup must never cost results.
+    for theta_index in range(len(THETAS)):
+        counts = {
+            backend: records[backend][theta_index].result_count
+            for backend in backends
+        }
+        assert len(set(counts.values())) == 1, counts

@@ -15,7 +15,9 @@ from .reporting import (
     format_markdown_table,
     format_series_table,
     growth_factor,
+    record_payload,
     speedup,
+    write_bench_json,
 )
 from .workloads import WORKLOADS, Workload, bench_scale, load_workload
 
@@ -34,7 +36,9 @@ __all__ = [
     "format_series_table",
     "growth_factor",
     "load_workload",
+    "record_payload",
     "run",
     "run_series",
     "speedup",
+    "write_bench_json",
 ]

@@ -55,6 +55,8 @@ class RunConfig:
     triangle_accept: bool = True
     variant: str | None = None
     seed: int = 0
+    executor: str = "serial"
+    max_workers: int | None = None
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.workload}/theta={self.theta}"
@@ -92,7 +94,14 @@ def run(
     """Execute one configuration and collect all measurements."""
     clusters = clusters if clusters is not None else DEFAULT_CLUSTERS
     dataset = load_workload(config.workload, seed=config.seed)
-    ctx = Context(default_parallelism=config.num_partitions)
+    ctx = Context(
+        default_parallelism=config.num_partitions,
+        executor=config.executor,
+        max_workers=config.max_workers,
+    )
+    if ctx.executor.name == "processes":
+        for ranking in dataset.rankings:
+            ranking.build_ranks()
 
     start = perf_counter()
     result = _dispatch(ctx, dataset, config)

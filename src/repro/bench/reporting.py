@@ -1,12 +1,20 @@
-"""Paper-style text tables for the benchmark harness.
+"""Paper-style text tables and machine-readable output for the harness.
 
 Every figure benchmark prints the series it measured in the shape the
 paper plots them — x-axis values across the top, one row per algorithm —
 so a run's stdout is directly comparable against the paper's charts.
+
+Alongside the human-readable tables, :func:`write_bench_json` persists a
+``BENCH_<name>.json`` with the raw numbers of every run (threshold,
+algorithm, executor, wall seconds, simulated seconds, candidate /
+verified / result counts), so the performance trajectory of the repo is
+tracked as data across PRs, not just as text diffs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Mapping, Sequence
 
 
@@ -62,6 +70,59 @@ def growth_factor(values: Sequence) -> float | None:
     if len(usable) < 2 or usable[0] == 0:
         return None
     return usable[-1] / usable[0]
+
+
+def record_payload(record) -> dict:
+    """Flatten one :class:`~repro.bench.harness.RunRecord` for JSON.
+
+    Keeps the fields the trajectory tracking needs: identity (algorithm,
+    workload, threshold, executor), the two time series, and the filter
+    funnel counters.
+    """
+    config = record.config
+    return {
+        "algorithm": config.algorithm,
+        "workload": config.workload,
+        "theta": config.theta,
+        "num_partitions": config.num_partitions,
+        "executor": config.executor,
+        "max_workers": config.max_workers,
+        "wall_seconds": record.wall_seconds,
+        "simulated_seconds": dict(record.simulated),
+        "result_count": record.result_count,
+        "candidates": record.stats.get("candidates", 0),
+        "verified": record.stats.get("verified", 0),
+        "position_filtered": record.stats.get("position_filtered", 0),
+        "phase_seconds": dict(record.phase_seconds),
+        "dnf": record.dnf,
+    }
+
+
+def write_bench_json(
+    directory: str | os.PathLike,
+    name: str,
+    records: Sequence,
+    extra: Mapping | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` into ``directory``; returns the path.
+
+    ``records`` are :class:`~repro.bench.harness.RunRecord` objects (or
+    already-flattened dicts); ``extra`` lands under a top-level
+    ``"summary"`` key for derived numbers such as speedups.
+    """
+    runs = [
+        record if isinstance(record, dict) else record_payload(record)
+        for record in records
+    ]
+    payload: dict = {"name": name, "runs": runs}
+    if extra:
+        payload["summary"] = dict(extra)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
 
 
 def format_markdown_table(

@@ -28,6 +28,7 @@ from .analysis import (
 )
 from .joins.api import ALGORITHMS, similarity_join
 from .minispark.context import Context
+from .minispark.executors import EXECUTOR_NAMES
 from .rankings.dataset import RankingDataset
 from .rankings.generator import PROFILES, make_dataset
 
@@ -61,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--delta", type=int, default=None,
                       help="partitioning threshold for cl-p")
     join.add_argument("--partitions", type=int, default=16)
+    join.add_argument("--executor", choices=EXECUTOR_NAMES, default="serial",
+                      help="task backend: serial (default), threads, or "
+                      "processes (fork-based, POSIX only)")
+    join.add_argument("--max-workers", type=int, default=None,
+                      help="worker count for threads/processes "
+                      "(default: CPU count)")
     join.add_argument("-o", "--output", default=None,
                       help="write pairs here instead of stdout")
 
@@ -96,7 +103,8 @@ def _cmd_join(args) -> int:
         options["partition_threshold"] = args.delta
     result = similarity_join(
         dataset, args.theta, algorithm=args.algorithm,
-        ctx=Context(default_parallelism=args.partitions),
+        ctx=Context(default_parallelism=args.partitions,
+                    executor=args.executor, max_workers=args.max_workers),
         num_partitions=args.partitions, **options,
     ).with_distances(dataset)
 

@@ -46,6 +46,8 @@ def similarity_join(
     algorithm: str = "cl",
     ctx: Context | None = None,
     num_partitions: int | None = None,
+    executor: str | None = None,
+    max_workers: int | None = None,
     **options,
 ) -> JoinResult:
     """Find all ranking pairs within normalized Footrule distance ``theta``.
@@ -61,6 +63,14 @@ def similarity_join(
     ctx:
         A mini-Spark :class:`~repro.minispark.context.Context`; a default
         one is created for the distributed algorithms when omitted.
+    num_partitions:
+        Partition count of the distributed algorithms.
+    executor:
+        Task backend for the auto-created context: ``"serial"``,
+        ``"threads"``, or ``"processes"``.  Only valid without ``ctx`` —
+        pass ``Context(executor=...)`` to combine the two.
+    max_workers:
+        Worker count for the parallel backends (defaults to CPU count).
     options:
         Algorithm-specific keywords — ``theta_c`` and
         ``partition_threshold`` for cl/cl-p, ``variant`` and
@@ -75,12 +85,23 @@ def similarity_join(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
+    if ctx is not None and executor is not None:
+        raise ValueError(
+            "pass either ctx or executor, not both — build the context "
+            "with Context(executor=...) instead"
+        )
     if algorithm == "bruteforce":
         return bruteforce_join(dataset, theta)
     if algorithm == "local":
         return PrefixFilterJoin(theta, **options).join(dataset)
 
-    ctx = ctx or Context()
+    ctx = ctx or Context(executor=executor or "serial", max_workers=max_workers)
+    if ctx.executor.name == "processes":
+        # Build each ranking's item -> rank table up front: the tables are
+        # pickled with the rankings, so forked verification tasks skip the
+        # lazy per-object re-derivation on their private copies.
+        for ranking in dataset.rankings:
+            ranking.build_ranks()
     if algorithm == "vj":
         return vj_join(ctx, dataset, theta, num_partitions, **options)
     if algorithm == "vj-nl":

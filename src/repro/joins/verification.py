@@ -1,4 +1,16 @@
-"""Candidate verification and the filters shared by all join algorithms."""
+"""Candidate verification and the filters shared by all join algorithms.
+
+The hot path is :func:`check_pair`, called once per surviving candidate
+pair.  It used to walk ``tau.items`` twice — a full position-filter pass
+(:func:`violates_position_filter`) followed by the verification pass of
+:func:`verify` — and now runs :func:`fused_filter_verify`, a single-pass
+kernel that applies the per-item position bound and the early-exit running
+Footrule sum in one loop over the precomputed rank tables.  The two-pass
+functions are kept as the reference implementation; the property tests in
+``tests/test_fused_verification.py`` assert the fused kernel agrees with
+their composition on the distance, the filter decision, and every
+``JoinStats`` counter.
+"""
 
 from __future__ import annotations
 
@@ -44,6 +56,64 @@ def violates_position_filter(
     return False
 
 
+def fused_filter_verify(
+    tau: Ranking,
+    sigma: Ranking,
+    theta_raw: float,
+    use_position_filter: bool = True,
+) -> tuple:
+    """Position filter + early-exit verification in one pass per ranking.
+
+    Returns ``(distance_or_None, position_filtered)`` where
+    ``position_filtered`` is exactly ``violates_position_filter(...)``
+    and ``distance_or_None`` exactly ``verify(...)`` for pairs the filter
+    admits.  The loop over ``tau.items`` serves both purposes at once;
+    when the running sum already exceeds ``theta_raw`` but the filter has
+    not fired, the remaining items are only checked against the position
+    bound (the original filter is a full pass), never re-summed — so the
+    counter semantics of the two-pass composition are preserved while
+    each ranking's items are traversed at most once.
+    """
+    k = tau.k
+    sigma_ranks = sigma.ranks
+    total = 0
+    if use_position_filter:
+        bound = position_filter_bound(theta_raw)
+        exceeded = False
+        for pos, item in enumerate(tau.items):
+            other = sigma_ranks.get(item)
+            if other is None:
+                if not exceeded:
+                    total += k - pos
+                    if total > theta_raw:
+                        exceeded = True
+                continue
+            displacement = pos - other
+            if displacement < 0:
+                displacement = -displacement
+            if displacement > bound:
+                return None, True
+            if not exceeded:
+                total += displacement
+                if total > theta_raw:
+                    exceeded = True
+        if exceeded:
+            return None, False
+    else:
+        for pos, item in enumerate(tau.items):
+            other = sigma_ranks.get(item)
+            total += (k - pos) if other is None else abs(pos - other)
+            if total > theta_raw:
+                return None, False
+    tau_ranks = tau.ranks
+    for pos, item in enumerate(sigma.items):
+        if item not in tau_ranks:
+            total += k - pos
+            if total > theta_raw:
+                return None, False
+    return total, False
+
+
 def check_pair(
     tau: Ranking,
     sigma: Ranking,
@@ -56,11 +126,13 @@ def check_pair(
     Returns the raw distance for results, ``None`` otherwise.
     """
     stats.candidates += 1
-    if use_position_filter and violates_position_filter(tau, sigma, theta_raw):
+    distance, filtered = fused_filter_verify(
+        tau, sigma, theta_raw, use_position_filter
+    )
+    if filtered:
         stats.position_filtered += 1
         return None
     stats.verified += 1
-    distance = verify(tau, sigma, theta_raw)
     if distance is not None:
         stats.results += 1
     return distance

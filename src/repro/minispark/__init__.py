@@ -8,6 +8,14 @@ measured task durations onto a configurable ``executors x cores`` shape.
 
 from .cluster import TABLE3_CONFIG, ClusterConfig, ClusterModel, CostModel
 from .context import Accumulator, Broadcast, Context
+from .executors import (
+    EXECUTOR_NAMES,
+    ProcessTaskExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadTaskExecutor,
+    make_executor,
+)
 from .metrics import JobMetrics, MetricsCollector, StageMetrics
 from .partitioner import (
     HashPartitioner,
@@ -18,6 +26,7 @@ from .partitioner import (
 from .rdd import RDD
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "TABLE3_CONFIG",
     "Accumulator",
     "Broadcast",
@@ -26,6 +35,11 @@ __all__ = [
     "Context",
     "CostModel",
     "HashPartitioner",
+    "ProcessTaskExecutor",
+    "SerialExecutor",
+    "TaskExecutor",
+    "ThreadTaskExecutor",
+    "make_executor",
     "JobMetrics",
     "MetricsCollector",
     "Partitioner",

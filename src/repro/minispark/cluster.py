@@ -2,11 +2,15 @@
 
 The paper runs on Spark 1.6 over 8 nodes (2 x 6-core Xeons, 128 GB each)
 with the Table 3 parameters: 24 executor instances, 5 cores each, 8 GB
-executor memory, 12 GB driver memory.  We execute tasks locally and
-sequentially (deterministic, GIL-friendly) but record every task's
-duration; :class:`ClusterModel` then *replays* those durations onto
-``executors x cores`` parallel slots to estimate the wall time a cluster of
-a given shape would need.
+executor memory, 12 GB driver memory.  We execute tasks locally — serially
+or on a thread/process backend (``Context(executor=...)``) — and record
+every task attempt's *own* compute duration inside the worker;
+:class:`ClusterModel` then *replays* those durations onto ``executors x
+cores`` parallel slots to estimate the wall time a cluster of a given
+shape would need.  Because ``task_seconds`` are per-task times (not stage
+elapsed times), the replay stays valid whichever backend measured them;
+the locally realized concurrency is reported separately as
+``StageMetrics.wall_seconds`` / ``local_speedup``.
 
 The model is deliberately simple and fully documented:
 
@@ -122,3 +126,16 @@ class ClusterModel:
             self.stage_seconds(stage.task_seconds, stage.shuffle_records)
             for stage in job.stages
         )
+
+    def speedup_over_measured(self, job: JobMetrics) -> float | None:
+        """Measured local wall time over the simulated cluster makespan.
+
+        How much faster this cluster shape would run the job than the
+        local execution (whatever executor backend produced it) actually
+        did.  ``None`` when either time is too small to compare.
+        """
+        simulated = self.simulate(job)
+        measured = job.total_wall_seconds
+        if simulated <= 0.0 or measured <= 0.0:
+            return None
+        return measured / simulated

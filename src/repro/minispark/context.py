@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterable
 
 from .cluster import ClusterConfig, ClusterModel, CostModel
+from .executors import TaskExecutor, make_executor
 from .metrics import MetricsCollector
 from .rdd import ParallelCollectionRDD, RDD
 from .scheduler import Scheduler
@@ -30,15 +32,23 @@ class Accumulator:
 
     The join algorithms use accumulators for candidate/verification counts
     so that instrumentation flows the same way it would on a cluster.
+
+    ``add`` is guarded by a lock: with the ``threads`` executor several
+    tasks update one accumulator concurrently and a plain ``+=``
+    (read-modify-write) would silently drop counts.  Under the fork-based
+    ``processes`` executor updates happen in the child and — like closure
+    mutation on real Spark executors — do not reach the driver.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self, initial=0):
         self.value = initial
+        self._lock = threading.Lock()
 
     def add(self, amount=1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Accumulator({self.value})"
@@ -61,6 +71,14 @@ class Context:
         How often a failed task is retried before the job fails
         (``spark.task.maxFailures - 1``; Spark's default is 3 retries,
         ours is 0 so tests see errors immediately unless asked).
+    executor:
+        Task execution backend: ``"serial"`` (default), ``"threads"``, or
+        ``"processes"`` — see :mod:`repro.minispark.executors`.  An
+        already-built :class:`~repro.minispark.executors.TaskExecutor`
+        is also accepted.
+    max_workers:
+        Concurrent task slots of the parallel backends (defaults to the
+        CPU count; ignored by ``"serial"``).
     """
 
     def __init__(
@@ -69,6 +87,8 @@ class Context:
         cluster: ClusterConfig | None = None,
         cost_model: CostModel | None = None,
         task_retries: int = 0,
+        executor: str | TaskExecutor = "serial",
+        max_workers: int | None = None,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -80,6 +100,7 @@ class Context:
         self.task_retries = task_retries
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel()
+        self.executor = make_executor(executor, max_workers)
         self.scheduler = Scheduler(self)
         self.metrics = MetricsCollector()
 

@@ -1,0 +1,255 @@
+"""Pluggable task executors: how the scheduler runs a stage's tasks.
+
+The scheduler turns every stage into an ordered list of zero-argument
+*task thunks* (one per partition) and hands the whole list to a
+:class:`TaskExecutor`.  Three backends exist:
+
+``serial``
+    Runs tasks one after the other in the calling thread — the original
+    deterministic behaviour, and the only backend that stops submitting
+    work at the first exhausted task (matching classic fail-fast runs).
+
+``threads``
+    A ``concurrent.futures.ThreadPoolExecutor``.  Tasks share the parent
+    process memory, so broadcast variables, accumulators, and RDD caches
+    behave exactly as in serial mode.  Pure-Python task bodies serialize
+    on the GIL; the win is bounded by whatever releases it (I/O, C
+    extensions) — see DESIGN.md "Execution backends".
+
+``processes``
+    Fork-based worker processes (POSIX only).  Workers are forked *per
+    stage*, after upstream shuffles have materialized, so the children
+    inherit the full lineage — closures never need to be pickled, only
+    each task's *result* travels back through a pipe.  Side effects on
+    driver-side objects (accumulators, ``JoinStats`` counters, RDD
+    caches) stay in the child and are lost, exactly like closure
+    mutation on a real Spark executor.
+
+Every backend runs the retry loop *inside* the worker
+(:func:`run_task_with_retries`), so per-attempt timing and the
+partial-output isolation invariant are identical across backends, and a
+flaky task retries on the same worker that saw it fail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Sequence
+
+#: Names accepted by :func:`make_executor` / ``Context(executor=...)``.
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced: a value or an error, plus attempt timings.
+
+    ``attempt_seconds`` has one entry per attempt (failed attempts
+    included) — the scheduler appends them to ``StageMetrics.task_seconds``
+    in partition order so metrics stay deterministic under concurrency.
+    """
+
+    value: object = None
+    attempt_seconds: list = field(default_factory=list)
+    failures: int = 0
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_task_with_retries(compute: Callable, retries: int) -> TaskOutcome:
+    """Execute one task with up to ``retries`` re-attempts, timing each.
+
+    Never raises: an exhausted task returns an outcome carrying its last
+    exception, which the scheduler re-raises in partition order.
+    """
+    outcome = TaskOutcome()
+    for attempt in range(retries + 1):
+        start = perf_counter()
+        try:
+            value = compute()
+        except Exception as exc:
+            outcome.attempt_seconds.append(perf_counter() - start)
+            outcome.failures += 1
+            if attempt == retries:
+                outcome.error = exc
+                return outcome
+        else:
+            outcome.attempt_seconds.append(perf_counter() - start)
+            outcome.value = value
+            return outcome
+    raise AssertionError("unreachable")
+
+
+def default_max_workers() -> int:
+    """Worker count when the caller does not choose one: the CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+class TaskExecutor:
+    """Base class: runs an ordered list of task thunks.
+
+    ``run_tasks`` returns one :class:`TaskOutcome` per task, *in task
+    order* regardless of completion order.
+    """
+
+    name = "base"
+
+    def __init__(self, max_workers: int | None = None):
+        workers = default_max_workers() if max_workers is None else max_workers
+        if workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {workers}")
+        self.max_workers = workers
+
+    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class SerialExecutor(TaskExecutor):
+    """Original behaviour: in-order, fail-fast task execution."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(1)
+
+    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+        outcomes = []
+        for task in tasks:
+            outcome = run_task_with_retries(task, retries)
+            outcomes.append(outcome)
+            if not outcome.ok:
+                break  # later partitions never run, like the classic loop
+        return outcomes
+
+
+class ThreadTaskExecutor(TaskExecutor):
+    """All partition tasks of a stage submitted to one thread pool."""
+
+    name = "threads"
+
+    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+        if len(tasks) <= 1:
+            return SerialExecutor().run_tasks(tasks, retries)
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(tasks)),
+            thread_name_prefix="minispark-task",
+        ) as pool:
+            futures = [
+                pool.submit(run_task_with_retries, task, retries)
+                for task in tasks
+            ]
+            return [future.result() for future in futures]
+
+
+class ProcessTaskExecutor(TaskExecutor):
+    """Fork-per-stage worker processes (POSIX only).
+
+    Task indices are striped round-robin over ``max_workers`` children.
+    Forking happens here — after earlier stages materialized their
+    shuffle outputs in the parent — so children see the complete lineage
+    state without any pickling of closures.  Only results (and
+    exceptions) cross the pipe and therefore must be picklable.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "the 'processes' executor needs the fork start method "
+                "(POSIX); use 'threads' or 'serial' on this platform"
+            )
+
+    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+        if len(tasks) <= 1 or self.max_workers == 1:
+            return SerialExecutor().run_tasks(tasks, retries)
+        ctx = multiprocessing.get_context("fork")
+        num_workers = min(self.max_workers, len(tasks))
+        outcomes: list = [None] * len(tasks)
+        workers = []
+        for worker_id in range(num_workers):
+            indices = list(range(worker_id, len(tasks), num_workers))
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_forked_worker,
+                args=(sender, tasks, indices, retries),
+                daemon=True,
+            )
+            process.start()
+            sender.close()  # parent keeps only the read end
+            workers.append((process, receiver, indices))
+        for process, receiver, indices in workers:
+            received = 0
+            try:
+                while received < len(indices):
+                    index, outcome = receiver.recv()
+                    outcomes[index] = outcome
+                    received += 1
+            except EOFError:
+                pass  # worker died; unfilled slots handled below
+            finally:
+                receiver.close()
+                process.join()
+            for index in indices:
+                if outcomes[index] is None:
+                    outcomes[index] = TaskOutcome(
+                        error=RuntimeError(
+                            f"worker process for task {index} exited with "
+                            f"code {process.exitcode} before reporting"
+                        )
+                    )
+        return outcomes
+
+
+def _forked_worker(conn, tasks, indices, retries):
+    """Child body: run the assigned tasks, pipe each outcome back."""
+    try:
+        for index in indices:
+            outcome = run_task_with_retries(tasks[index], retries)
+            try:
+                conn.send((index, outcome))
+            except Exception as exc:  # unpicklable result or error
+                conn.send(
+                    (
+                        index,
+                        TaskOutcome(
+                            failures=outcome.failures,
+                            attempt_seconds=outcome.attempt_seconds,
+                            error=RuntimeError(
+                                "task result could not be sent back from "
+                                f"the worker process: {exc!r}"
+                            ),
+                        ),
+                    )
+                )
+    finally:
+        conn.close()
+
+
+def make_executor(name: str, max_workers: int | None = None) -> TaskExecutor:
+    """Resolve an executor name (``Context(executor=...)``) to a backend."""
+    if isinstance(name, TaskExecutor):
+        return name
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadTaskExecutor(max_workers)
+    if name == "processes":
+        return ProcessTaskExecutor(max_workers)
+    raise ValueError(
+        f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
+    )

@@ -11,6 +11,15 @@ record counts flowing through.  The measurements serve two purposes:
 * the benchmark harness reports them alongside measured wall time so that
   skew effects (a few giant tasks dominating a stage) stay visible — the
   phenomenon CL-P's repartitioning targets.
+
+Tasks may run concurrently (``Context(executor="threads"|"processes")``),
+so two durations exist per stage: ``task_seconds`` — each attempt's own
+compute time, measured inside the worker and therefore still the valid
+input for the cluster cost model's replay — and ``wall_seconds``, the
+stage's measured elapsed time on the local machine.  Serially these
+coincide (minus scheduling overhead); under a parallel backend their ratio
+is the locally realized speedup.  ``JobMetrics`` records which executor
+and worker count produced the numbers.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ class StageMetrics:
     records_out: int = 0
     shuffle_records: int = 0
     task_failures: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def num_tasks(self) -> int:
@@ -50,6 +60,17 @@ class StageMetrics:
             return 1.0
         return self.max_task_seconds / mean
 
+    def local_speedup(self) -> float:
+        """Sum-of-task-seconds over stage wall time.
+
+        1.0 means no overlap (serial); values toward the worker count mean
+        the backend actually ran tasks concurrently.  Returns 1.0 when the
+        stage is too fast to measure.
+        """
+        if self.wall_seconds <= 0.0 or not self.task_seconds:
+            return 1.0
+        return self.total_task_seconds / self.wall_seconds
+
 
 @dataclass
 class JobMetrics:
@@ -57,6 +78,8 @@ class JobMetrics:
 
     name: str = "job"
     stages: list = field(default_factory=list)
+    executor: str = "serial"
+    max_workers: int = 1
 
     def new_stage(self, name: str) -> StageMetrics:
         stage = StageMetrics(name)
@@ -66,6 +89,11 @@ class JobMetrics:
     @property
     def total_task_seconds(self) -> float:
         return sum(s.total_task_seconds for s in self.stages)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Measured elapsed time of the job (stages run back to back)."""
+        return sum(s.wall_seconds for s in self.stages)
 
     @property
     def total_shuffle_records(self) -> int:

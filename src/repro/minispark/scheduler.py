@@ -9,12 +9,19 @@ the dependency's partitioner, and — when an aggregator is present —
 combined map-side first.  Finally the *result stage* computes the action
 RDD's own partitions.
 
-Every task is timed with ``perf_counter``; the durations, record counts,
-and shuffle volumes land in a :class:`~repro.minispark.metrics.JobMetrics`
-that the cluster cost model replays to estimate multi-node wall time.
-Shuffle outputs are memoized on the dependency (like Spark's shuffle
-files), so iterative algorithms that reuse an upstream RDD do not pay for
-the exchange twice.
+A stage's partition tasks are submitted together to the context's
+:class:`~repro.minispark.executors.TaskExecutor` (serial, threads, or
+forked processes — ``Context(executor=...)``).  Results, metrics, and
+shuffle bucket merges are always processed in partition order, so every
+backend produces identical outputs and deterministic metrics; stages still
+synchronize at shuffles, exactly as on Spark.
+
+Every task attempt is timed with ``perf_counter``; the durations, record
+counts, shuffle volumes, and each stage's wall-clock time land in a
+:class:`~repro.minispark.metrics.JobMetrics` that the cluster cost model
+replays to estimate multi-node wall time.  Shuffle outputs are memoized on
+the dependency (like Spark's shuffle files), so iterative algorithms that
+reuse an upstream RDD do not pay for the exchange twice.
 """
 
 from __future__ import annotations
@@ -31,41 +38,49 @@ class Scheduler:
     Tasks are retried up to ``context.task_retries`` times before the job
     fails (Spark's ``spark.task.maxFailures`` behaviour) — the lineage
     information needed to recompute a partition is exactly the RDD graph,
-    so a retry is simply another ``iterator(index)`` call.
+    so a retry is simply another ``iterator(index)`` call.  The retry loop
+    runs inside the worker so a failed attempt's partial output never
+    leaks, whichever backend executes the task.
     """
 
     def __init__(self, context):
         self.context = context
 
-    def _attempt(self, stage: StageMetrics, compute):
-        """Run one task with retries; record every attempt's duration."""
-        retries = self.context.task_retries
-        for attempt in range(retries + 1):
-            start = perf_counter()
-            try:
-                result = compute()
-            except Exception:
-                stage.task_seconds.append(perf_counter() - start)
-                stage.task_failures += 1
-                if attempt == retries:
-                    raise
-            else:
-                stage.task_seconds.append(perf_counter() - start)
-                return result
-        raise AssertionError("unreachable")
+    def _run_stage(self, stage: StageMetrics, tasks: list) -> list:
+        """Run a stage's tasks on the executor; return values in task order.
+
+        Metrics are merged in partition order (attempt durations, failure
+        counts), the stage's wall-clock duration is recorded, and the
+        first failed task's exception — again in partition order — is
+        re-raised, matching the serial scheduler's error surface.
+        """
+        executor = self.context.executor
+        start = perf_counter()
+        outcomes = executor.run_tasks(tasks, self.context.task_retries)
+        stage.wall_seconds += perf_counter() - start
+        for outcome in outcomes:
+            stage.task_seconds.extend(outcome.attempt_seconds)
+            stage.task_failures += outcome.failures
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
 
     def run_job(self, rdd: RDD, name: str) -> list:
         """Run an action: returns one list of records per partition."""
-        job = JobMetrics(name)
+        executor = self.context.executor
+        job = JobMetrics(
+            name, executor=executor.name, max_workers=executor.max_workers
+        )
         self._materialize_shuffles(rdd, job, seen=set())
         stage = job.new_stage(f"result:{name}")
-        results = []
-        for index in range(rdd.num_partitions):
-            records = self._attempt(
-                stage, lambda index=index: list(rdd.iterator(index))
-            )
+        tasks = [
+            (lambda index=index: list(rdd.iterator(index)))
+            for index in range(rdd.num_partitions)
+        ]
+        results = self._run_stage(stage, tasks)
+        for records in results:
             stage.records_out += len(records)
-            results.append(records)
         self.context.metrics.add(job)
         return results
 
@@ -86,11 +101,11 @@ class Scheduler:
         parent = dep.parent
         partitioner = dep.partitioner
         stage = job.new_stage(f"shuffle:rdd{parent.rdd_id}")
-        outputs: list = [[] for _ in range(partitioner.num_partitions)]
-        for index in range(parent.num_partitions):
+
+        def make_map_task(index):
             # A failed attempt may have emitted partial buckets; bucket
             # into fresh lists per attempt and merge on success only.
-            def run_map_task(index=index):
+            def run_map_task():
                 attempt_outputs: list = [
                     [] for _ in range(partitioner.num_partitions)
                 ]
@@ -104,7 +119,16 @@ class Scheduler:
                     )
                 return count, attempt_outputs
 
-            count, attempt_outputs = self._attempt(stage, run_map_task)
+            return run_map_task
+
+        tasks = [make_map_task(i) for i in range(parent.num_partitions)]
+        task_results = self._run_stage(stage, tasks)
+
+        # Merge every task's buckets in partition order, only after the
+        # whole stage succeeded — bucket contents are byte-identical to a
+        # serial run regardless of which backend computed them.
+        outputs: list = [[] for _ in range(partitioner.num_partitions)]
+        for count, attempt_outputs in task_results:
             for bucket, attempt_bucket in zip(outputs, attempt_outputs):
                 bucket.extend(attempt_bucket)
             stage.records_in += count

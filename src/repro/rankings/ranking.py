@@ -65,6 +65,18 @@ class Ranking:
             self._ranks = {item: pos for pos, item in enumerate(self.items)}
         return self._ranks
 
+    def build_ranks(self) -> "Ranking":
+        """Eagerly build the rank table now; returns ``self``.
+
+        The table is part of the pickled state, so rankings prepared with
+        ``build_ranks`` before being shipped to the ``processes`` executor
+        arrive with the table ready instead of every forked verification
+        task re-deriving it lazily.
+        """
+        if self._ranks is None:
+            self._ranks = {item: pos for pos, item in enumerate(self.items)}
+        return self
+
     def rank_of(self, item, default: int | None = None) -> int:
         """Return the rank of ``item``.
 

@@ -1,0 +1,302 @@
+"""Executor backends: identical results, retry isolation, metrics.
+
+The contract under test: whichever backend runs a stage's tasks —
+serial loop, thread pool, or forked worker processes — join results,
+shuffle record counts, and retry semantics are indistinguishable from
+the serial scheduler's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro import similarity_join
+from repro.minispark import Context, make_executor
+from repro.minispark.executors import (
+    EXECUTOR_NAMES,
+    SerialExecutor,
+    run_task_with_retries,
+)
+from repro.rankings import make_dataset
+
+BACKENDS = list(EXECUTOR_NAMES)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="processes executor needs the fork start method",
+)
+
+
+def _skip_if_unsupported(backend):
+    if backend == "processes" and (
+        "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        pytest.skip("processes executor needs the fork start method")
+
+
+def _ctx(backend, **kwargs):
+    _skip_if_unsupported(backend)
+    return Context(
+        default_parallelism=4, executor=backend, max_workers=4, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def fixed_dataset():
+    return make_dataset("dblp", size_factor=0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(fixed_dataset):
+    result = similarity_join(
+        fixed_dataset, 0.3, algorithm="vj", executor="serial",
+        num_partitions=8,
+    )
+    return result
+
+
+class TestIdenticalResults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_vj_pairs_identical(self, backend, fixed_dataset, serial_reference):
+        _skip_if_unsupported(backend)
+        result = similarity_join(
+            fixed_dataset, 0.3, algorithm="vj", executor=backend,
+            max_workers=4, num_partitions=8,
+        )
+        assert sorted(result.pairs) == sorted(serial_reference.pairs)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cl_pairs_identical(self, backend, fixed_dataset, serial_reference):
+        _skip_if_unsupported(backend)
+        result = similarity_join(
+            fixed_dataset, 0.3, algorithm="cl", executor=backend,
+            max_workers=4, num_partitions=8, theta_c=0.03,
+        )
+        assert result.pair_set() == serial_reference.pair_set()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_shuffle_record_counts_identical(self, backend, fixed_dataset):
+        _skip_if_unsupported(backend)
+
+        def shuffle_counts(executor):
+            ctx = Context(default_parallelism=4, executor=executor,
+                          max_workers=4)
+            similarity_join(
+                fixed_dataset, 0.3, algorithm="vj", ctx=ctx,
+                num_partitions=8,
+            )
+            return [
+                (stage.name.split(":")[0], stage.shuffle_records)
+                for job in ctx.metrics.jobs
+                for stage in job.stages
+            ]
+
+        assert shuffle_counts(backend) == shuffle_counts("serial")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_shuffled_bucket_contents_identical(self, backend):
+        _skip_if_unsupported(backend)
+
+        def grouped(executor):
+            ctx = Context(default_parallelism=4, executor=executor,
+                          max_workers=4)
+            rdd = ctx.parallelize(range(200), 8).map(lambda x: (x % 7, x))
+            return rdd.group_by_key(5).collect()
+
+        assert grouped(backend) == grouped("serial")
+
+
+class Flaky:
+    """Raises on the first N calls for a given partition element."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls: dict = {}
+        self.lock = threading.Lock()
+
+    def __call__(self, x):
+        with self.lock:
+            count = self.calls.get(x, 0)
+            self.calls[x] = count + 1
+        if count < self.failures:
+            raise RuntimeError(f"transient failure for {x}")
+        return x
+
+
+class TestRetriesUnderConcurrency:
+    # The processes backend is exercised too: retries run inside one
+    # worker, so the Flaky call-counting state persists across attempts
+    # there just as it does in a thread.
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_failure_recovers(self, backend):
+        ctx = _ctx(backend, task_retries=2)
+        flaky = Flaky(failures=1)
+        assert sorted(
+            ctx.parallelize([1, 2, 3], 3).map(flaky).collect()
+        ) == [1, 2, 3]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exhausted_retries_raise(self, backend):
+        ctx = _ctx(backend, task_retries=1)
+        flaky = Flaky(failures=5)
+        with pytest.raises(RuntimeError, match="transient"):
+            ctx.parallelize([1, 2, 3], 3).map(flaky).collect()
+
+    @pytest.mark.parametrize("backend", ["threads", pytest.param(
+        "processes", marks=needs_fork)])
+    def test_partial_buckets_not_merged_under_concurrency(self, backend):
+        """A failed map attempt's partial shuffle output must vanish.
+
+        Every partition's first map attempt fails *after* producing
+        records; only the retried attempts' buckets may be merged —
+        concurrency must not leak the partial ones.
+        """
+        def run(executor_name, flaky):
+            ctx = _ctx(executor_name, task_retries=2)
+
+            def emit_then_maybe_explode(index, part):
+                records = [(x % 2, x) for x in part]
+                if flaky is not None:
+                    flaky(index)  # raises on each partition's first attempt
+                return iter(records)
+
+            rdd = ctx.parallelize(range(12), 4).map_partitions_with_index(
+                emit_then_maybe_explode
+            )
+            grouped = dict(rdd.group_by_key(3).collect())
+            return ctx, grouped
+
+        ctx, grouped = run(backend, Flaky(failures=1))
+        values = sorted(v for vs in grouped.values() for v in vs)
+        assert values == list(range(12)), "no duplicates, no losses"
+        shuffle_stage = ctx.metrics.jobs[-1].stages[0]
+        assert shuffle_stage.task_failures == 4
+
+        # Byte-identical shuffle to a clean serial run: the failed
+        # attempts' partial buckets left no trace.
+        clean_ctx, clean_grouped = run("serial", None)
+        assert grouped == clean_grouped
+        clean_stage = clean_ctx.metrics.jobs[-1].stages[0]
+        assert shuffle_stage.shuffle_records == clean_stage.shuffle_records
+        assert shuffle_stage.records_in == clean_stage.records_in
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failure_metrics_counted(self, backend):
+        ctx = _ctx(backend, task_retries=2)
+        flaky = Flaky(failures=1)
+        ctx.parallelize([1, 2], 2).map(flaky).collect()
+        stage = ctx.metrics.jobs[-1].stages[-1]
+        assert stage.task_failures == 2
+        assert stage.num_tasks == 4  # each failed attempt is timed too
+
+
+class TestAccumulatorThreadSafety:
+    def test_concurrent_adds_drop_nothing(self):
+        ctx = Context(default_parallelism=8, executor="threads",
+                      max_workers=8)
+        acc = ctx.accumulator()
+        ctx.parallelize(range(8), 8).foreach(
+            lambda _x: [acc.add() for _ in range(5000)]
+        )
+        assert acc.value == 40_000
+
+    def test_plain_adds_still_work(self):
+        ctx = Context(default_parallelism=2)
+        acc = ctx.accumulator(10)
+        acc.add(5)
+        assert acc.value == 15
+
+
+class TestExecutorUnits:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            Context(executor="gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            Context(executor="threads", max_workers=0)
+
+    def test_existing_executor_instance_accepted(self):
+        executor = SerialExecutor()
+        assert Context(executor=executor).executor is executor
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_outcomes_in_task_order(self, backend):
+        _skip_if_unsupported(backend)
+        executor = make_executor(backend, 4)
+        tasks = [(lambda i=i: i * i) for i in range(10)]
+        outcomes = executor.run_tasks(tasks, retries=0)
+        assert [o.value for o in outcomes] == [i * i for i in range(10)]
+
+    def test_retry_helper_times_every_attempt(self):
+        calls = {"n": 0}
+
+        def sometimes():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("nope")
+            return "ok"
+
+        outcome = run_task_with_retries(sometimes, retries=5)
+        assert outcome.value == "ok"
+        assert outcome.failures == 2
+        assert len(outcome.attempt_seconds) == 3
+        assert outcome.ok
+
+    def test_retry_helper_returns_error_when_exhausted(self):
+        outcome = run_task_with_retries(
+            lambda: (_ for _ in ()).throw(KeyError("boom")), retries=1
+        )
+        assert not outcome.ok
+        assert isinstance(outcome.error, KeyError)
+        assert outcome.failures == 2
+
+
+class TestMetricsRecording:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_job_stamped_with_executor(self, backend):
+        ctx = _ctx(backend)
+        ctx.parallelize(range(10), 4).map(lambda x: (x, x)).group_by_key(
+            2
+        ).collect()
+        job = ctx.metrics.jobs[-1]
+        assert job.executor == backend
+        if backend == "serial":
+            assert job.max_workers == 1
+        else:
+            assert job.max_workers == 4
+        for stage in job.stages:
+            assert stage.wall_seconds >= 0.0
+            assert stage.num_tasks > 0
+        assert job.total_wall_seconds >= 0.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simulated_seconds_stay_meaningful(self, backend):
+        """Cluster replay works from per-task durations on any backend."""
+        ctx = _ctx(backend)
+        ctx.parallelize(range(100), 4).map(lambda x: (x % 3, x)).group_by_key(
+            3
+        ).collect()
+        assert ctx.simulated_seconds() > 0.0
+
+
+@needs_fork
+class TestProcessBackendEdges:
+    def test_unpicklable_result_reports_clean_error(self):
+        ctx = Context(default_parallelism=2, executor="processes",
+                      max_workers=2)
+        rdd = ctx.parallelize(range(4), 2).map(lambda x: lambda: x)
+        with pytest.raises(RuntimeError, match="could not be sent back"):
+            rdd.collect()
+
+    def test_driver_side_caches_unaffected(self):
+        """Forked tasks must not corrupt parent state; reruns still work."""
+        ctx = Context(default_parallelism=2, executor="processes",
+                      max_workers=2)
+        rdd = ctx.parallelize(range(10), 2).map(lambda x: x + 1).cache()
+        assert sorted(rdd.collect()) == list(range(1, 11))
+        assert sorted(rdd.collect()) == list(range(1, 11))

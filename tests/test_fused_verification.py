@@ -1,0 +1,110 @@
+"""The fused filter+verify kernel agrees with the two-pass composition.
+
+Property-based: random ranking pairs over a small domain (to force item
+overlap) and thresholds across the whole scale, comparing the fused
+single-pass kernel against the reference ``violates_position_filter`` +
+``verify`` composition on the filter decision, the distance, and every
+``JoinStats`` counter.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.types import JoinStats
+from repro.joins.verification import (
+    check_pair,
+    fused_filter_verify,
+    verify,
+    violates_position_filter,
+)
+from repro.rankings.bounds import raw_threshold
+from repro.rankings.ranking import Ranking
+
+ks = st.integers(min_value=1, max_value=8)
+thetas = st.floats(min_value=0.0, max_value=1.2, allow_nan=False)
+
+
+@st.composite
+def ranking_pairs(draw):
+    """Two same-k rankings over a domain small enough to overlap often."""
+    k = draw(ks)
+    domain = list(range(k + draw(st.integers(min_value=0, max_value=4))))
+    first = draw(st.permutations(domain))[:k]
+    second = draw(st.permutations(domain))[:k]
+    return Ranking(0, first), Ranking(1, second)
+
+
+def reference_check_pair(tau, sigma, theta_raw, stats, use_position_filter):
+    """The original two-pass composition, counters included."""
+    stats.candidates += 1
+    if use_position_filter and violates_position_filter(tau, sigma, theta_raw):
+        stats.position_filtered += 1
+        return None
+    stats.verified += 1
+    distance = verify(tau, sigma, theta_raw)
+    if distance is not None:
+        stats.results += 1
+    return distance
+
+
+@settings(max_examples=400, deadline=None)
+@given(pair=ranking_pairs(), theta=thetas, use_filter=st.booleans())
+def test_fused_agrees_with_composition(pair, theta, use_filter):
+    tau, sigma = pair
+    theta_raw = raw_threshold(theta, tau.k)
+
+    fused_distance, fused_filtered = fused_filter_verify(
+        tau, sigma, theta_raw, use_filter
+    )
+    assert fused_filtered == (
+        use_filter and violates_position_filter(tau, sigma, theta_raw)
+    )
+    if not fused_filtered:
+        assert fused_distance == verify(tau, sigma, theta_raw)
+
+
+@settings(max_examples=400, deadline=None)
+@given(pair=ranking_pairs(), theta=thetas, use_filter=st.booleans())
+def test_check_pair_counters_unchanged(pair, theta, use_filter):
+    tau, sigma = pair
+    theta_raw = raw_threshold(theta, tau.k)
+
+    expected_stats = JoinStats()
+    expected = reference_check_pair(
+        tau, sigma, theta_raw, expected_stats, use_filter
+    )
+    actual_stats = JoinStats()
+    actual = check_pair(tau, sigma, theta_raw, actual_stats, use_filter)
+
+    assert actual == expected
+    assert vars(actual_stats) == vars(expected_stats)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=ranking_pairs(), theta=thetas)
+def test_fused_symmetry(pair, theta):
+    """Footrule is symmetric; the fused distance must be too."""
+    tau, sigma = pair
+    theta_raw = raw_threshold(theta, tau.k)
+    d_ab, _ = fused_filter_verify(tau, sigma, theta_raw, False)
+    d_ba, _ = fused_filter_verify(sigma, tau, theta_raw, False)
+    assert d_ab == d_ba
+
+
+def test_fused_paper_example():
+    """Table 2 rankings: known distances survive the fused path."""
+    r1 = Ranking(1, [2, 5, 4, 3, 1])
+    r2 = Ranking(2, [1, 4, 5, 9, 0])
+    distance, filtered = fused_filter_verify(r1, r2, 1e9, True)
+    assert not filtered
+    assert distance == verify(r1, r2, 1e9)
+
+
+def test_fused_single_item():
+    same = Ranking(0, [7]), Ranking(1, [7])
+    assert fused_filter_verify(*same, 0.0, True) == (0, False)
+    different = Ranking(0, [7]), Ranking(1, [8])
+    distance, filtered = fused_filter_verify(*different, 100.0, True)
+    assert (distance, filtered) == (2, False)

@@ -14,7 +14,7 @@ reducer_counts = st.integers(min_value=1, max_value=7)
 
 
 @settings(max_examples=60, deadline=None)
-@given(words, reducer_counts)
+@given(tokens=words, num_reducers=reducer_counts)
 def test_word_count_matches_counter(tokens, num_reducers, tmp_path_factory):
     job = MapReduceJob(
         mapper=lambda token: [(token, 1)],
@@ -27,7 +27,7 @@ def test_word_count_matches_counter(tokens, num_reducers, tmp_path_factory):
 
 
 @settings(max_examples=60, deadline=None)
-@given(words, reducer_counts)
+@given(tokens=words, num_reducers=reducer_counts)
 def test_combiner_never_changes_the_answer(tokens, num_reducers,
                                            tmp_path_factory):
     def mapper(token):
@@ -51,14 +51,14 @@ def test_combiner_never_changes_the_answer(tokens, num_reducers,
 
 @settings(max_examples=60, deadline=None)
 @given(
-    st.lists(
+    pairs=st.lists(
         st.tuples(
             st.integers(min_value=0, max_value=9),
             st.integers(min_value=-5, max_value=5),
         ),
         max_size=40,
     ),
-    reducer_counts,
+    num_reducers=reducer_counts,
 )
 def test_grouping_matches_manual(pairs, num_reducers, tmp_path_factory):
     job = MapReduceJob(
