@@ -1,0 +1,114 @@
+"""Shuffle compaction: legacy vs compact token format across all algorithms.
+
+A Figure-6(a)-style workload (DBLP, theta 0.25) run once per algorithm and
+token format.  The compact path ships integer-encoded slim tokens, resolves
+rankings from a broadcast store, and generates each pair under exactly one
+shared item, so it must shuffle *far fewer records and bytes* while
+returning identical results and comparable wall time.  The raw numbers go
+to ``results/BENCH_shuffle_compaction.json``; the committed baseline of
+``scripts/check_shuffle_regression.py`` guards the records/bytes totals in
+CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    RunConfig,
+    format_series_table,
+    run,
+    speedup,
+    write_bench_json,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+THETA = 0.25
+ALGORITHMS = ["vj", "vj-nl", "cl", "cl-p"]
+FORMATS = ["legacy", "compact"]
+
+
+@pytest.mark.benchmark(group="shuffle")
+def test_shuffle_compaction(benchmark, report):
+    def sweep():
+        records = {}
+        for token_format in FORMATS:
+            records[token_format] = [
+                run(
+                    RunConfig(
+                        algorithm=algorithm,
+                        workload="dblp",
+                        theta=THETA,
+                        num_partitions=64,
+                        token_format=token_format,
+                    )
+                )
+                for algorithm in ALGORITHMS
+            ]
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    tables = [
+        format_series_table(
+            f"Shuffle compaction: DBLP, theta={THETA} — wall time",
+            "algorithm", ALGORITHMS,
+            {
+                fmt: [r.wall_seconds for r in records[fmt]]
+                for fmt in FORMATS
+            },
+        ),
+        format_series_table(
+            f"Shuffle compaction: DBLP, theta={THETA} — shuffled records",
+            "algorithm", ALGORITHMS,
+            {
+                fmt: [float(r.shuffle_records) for r in records[fmt]]
+                for fmt in FORMATS
+            },
+            unit="records",
+        ),
+        format_series_table(
+            f"Shuffle compaction: DBLP, theta={THETA} — shuffled bytes",
+            "algorithm", ALGORITHMS,
+            {
+                fmt: [float(r.shuffle_bytes) for r in records[fmt]]
+                for fmt in FORMATS
+            },
+            unit="bytes",
+        ),
+    ]
+
+    summary: dict = {"theta": THETA, "workload": "dblp"}
+    lines = []
+    for index, algorithm in enumerate(ALGORITHMS):
+        legacy, compact = records["legacy"][index], records["compact"][index]
+        record_factor = speedup(legacy.shuffle_records, compact.shuffle_records)
+        byte_factor = speedup(legacy.shuffle_bytes, compact.shuffle_bytes)
+        wall_factor = speedup(legacy.wall_seconds, compact.wall_seconds)
+        summary[algorithm] = {
+            "record_reduction": record_factor,
+            "byte_reduction": byte_factor,
+            "wall_speedup": wall_factor,
+        }
+        lines.append(
+            f"{algorithm}: x{record_factor:.1f} fewer shuffled records, "
+            f"x{byte_factor:.1f} fewer shuffled bytes, "
+            f"x{wall_factor:.2f} wall speedup"
+        )
+    report("shuffle_compaction", "\n\n".join(tables) + "\n\n" + "\n".join(lines))
+
+    flat = [r for fmt in FORMATS for r in records[fmt]]
+    write_bench_json(RESULTS_DIR, "shuffle_compaction", flat, extra=summary)
+
+    for index, algorithm in enumerate(ALGORITHMS):
+        legacy, compact = records["legacy"][index], records["compact"][index]
+        # Same join, byte for byte.
+        assert compact.result_count == legacy.result_count, algorithm
+        # The acceptance bar: at least 2x fewer shuffled records, fewer
+        # bytes, and no wall-clock regression beyond noise.
+        assert compact.shuffle_records * 2 <= legacy.shuffle_records, algorithm
+        assert compact.shuffle_bytes < legacy.shuffle_bytes, algorithm
+        assert compact.wall_seconds <= legacy.wall_seconds * 1.25, algorithm

@@ -57,6 +57,7 @@ class RunConfig:
     seed: int = 0
     executor: str = "serial"
     max_workers: int | None = None
+    token_format: str = "compact"
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.workload}/theta={self.theta}"
@@ -72,6 +73,8 @@ class RunRecord:
     result_count: int
     phase_seconds: dict
     stats: dict
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
     dnf: bool = False
 
     def simulated_on(self, cluster: str) -> float:
@@ -107,6 +110,7 @@ def run(
     result = _dispatch(ctx, dataset, config)
     wall = perf_counter() - start
 
+    combined = ctx.metrics.combined()
     return RunRecord(
         config=config,
         wall_seconds=wall,
@@ -117,6 +121,8 @@ def run(
         result_count=len(result),
         phase_seconds=dict(result.phase_seconds),
         stats=vars(result.stats).copy(),
+        shuffle_records=combined.total_shuffle_records,
+        shuffle_bytes=combined.total_shuffle_bytes,
     )
 
 
@@ -128,6 +134,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             variant=config.variant or "index",
             use_position_filter=config.use_position_filter,
             seed=config.seed,
+            token_format=config.token_format,
         )
     if config.algorithm == "vj-nl":
         return vj_join(
@@ -135,6 +142,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             variant="nl",
             use_position_filter=config.use_position_filter,
             seed=config.seed,
+            token_format=config.token_format,
         )
     if config.algorithm == "cl":
         return cl_join(
@@ -145,6 +153,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             use_position_filter=config.use_position_filter,
             triangle_accept=config.triangle_accept,
             seed=config.seed,
+            token_format=config.token_format,
         )
     if config.algorithm == "cl-p":
         delta = config.partition_threshold
@@ -159,6 +168,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             use_position_filter=config.use_position_filter,
             triangle_accept=config.triangle_accept,
             seed=config.seed,
+            token_format=config.token_format,
         )
     raise ValueError(f"unknown algorithm {config.algorithm!r}")
 

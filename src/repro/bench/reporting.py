@@ -87,12 +87,15 @@ def record_payload(record) -> dict:
         "num_partitions": config.num_partitions,
         "executor": config.executor,
         "max_workers": config.max_workers,
+        "token_format": getattr(config, "token_format", "legacy"),
         "wall_seconds": record.wall_seconds,
         "simulated_seconds": dict(record.simulated),
         "result_count": record.result_count,
         "candidates": record.stats.get("candidates", 0),
         "verified": record.stats.get("verified", 0),
         "position_filtered": record.stats.get("position_filtered", 0),
+        "shuffle_records": getattr(record, "shuffle_records", 0),
+        "shuffle_bytes": getattr(record, "shuffle_bytes", 0),
         "phase_seconds": dict(record.phase_seconds),
         "dnf": record.dnf,
     }

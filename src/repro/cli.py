@@ -68,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--max-workers", type=int, default=None,
                       help="worker count for threads/processes "
                       "(default: CPU count)")
+    join.add_argument("--token-format", choices=("compact", "legacy"),
+                      default="compact",
+                      help="shuffle payload for vj/vj-nl/cl/cl-p: compact "
+                      "integer tokens (default) or legacy ranking objects")
     join.add_argument("-o", "--output", default=None,
                       help="write pairs here instead of stdout")
 
@@ -94,6 +98,8 @@ def _cmd_generate(args) -> int:
 def _cmd_join(args) -> int:
     dataset = RankingDataset.load(args.dataset)
     options: dict = {}
+    if args.algorithm in ("vj", "vj-nl", "cl", "cl-p"):
+        options["token_format"] = args.token_format
     if args.algorithm in ("cl", "cl-p"):
         options["theta_c"] = args.theta_c
     if args.algorithm == "cl-p":

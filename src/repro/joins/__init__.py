@@ -3,6 +3,12 @@
 from .api import ALGORITHMS, similarity_join
 from .bruteforce import bruteforce_join
 from .clustered import cl_join, clp_join
+from .compact import (
+    TOKEN_FORMATS,
+    compact_ordering,
+    first_common,
+    validate_token_format,
+)
 from .grouping import distinct_pairs, grouped_join
 from .jaccard import jaccard_bruteforce, jaccard_join, jaccard_join_local
 from .metric_partition import metric_partition_join
@@ -27,12 +33,15 @@ __all__ = [
     "JoinResult",
     "JoinStats",
     "PrefixFilterJoin",
+    "TOKEN_FORMATS",
     "bruteforce_join",
     "canonical_pair",
     "check_pair",
     "cl_join",
     "clp_join",
+    "compact_ordering",
     "distinct_pairs",
+    "first_common",
     "grouped_join",
     "jaccard_bruteforce",
     "jaccard_join",
@@ -44,6 +53,7 @@ __all__ = [
     "prefix_size_for",
     "similarity_join",
     "triangle_bounds",
+    "validate_token_format",
     "verify",
     "violates_position_filter",
     "vj_join",

@@ -48,6 +48,7 @@ def similarity_join(
     num_partitions: int | None = None,
     executor: str | None = None,
     max_workers: int | None = None,
+    token_format: str | None = None,
     **options,
 ) -> JoinResult:
     """Find all ranking pairs within normalized Footrule distance ``theta``.
@@ -71,6 +72,13 @@ def similarity_join(
         pass ``Context(executor=...)`` to combine the two.
     max_workers:
         Worker count for the parallel backends (defaults to CPU count).
+    token_format:
+        Shuffle payload of the prefix-filter algorithms (vj, vj-nl, cl,
+        cl-p): ``"compact"`` (integer-encoded slim tokens + broadcast
+        ranking store + rarest-item deduplication, the default) or
+        ``"legacy"`` (full ranking objects per token, deduplicated by
+        shuffle).  Results are identical; only shuffle volume differs.
+        Rejected for algorithms without a token pipeline.
     options:
         Algorithm-specific keywords — ``theta_c`` and
         ``partition_threshold`` for cl/cl-p, ``variant`` and
@@ -90,6 +98,12 @@ def similarity_join(
             "pass either ctx or executor, not both — build the context "
             "with Context(executor=...) instead"
         )
+    if token_format is not None:
+        if algorithm not in ("vj", "vj-nl", "cl", "cl-p"):
+            raise ValueError(
+                f"token_format does not apply to algorithm {algorithm!r}"
+            )
+        options["token_format"] = token_format
     if algorithm == "bruteforce":
         return bruteforce_join(dataset, theta)
     if algorithm == "local":

@@ -44,6 +44,7 @@ and correct on all non-adversarial data we generated.
 
 from __future__ import annotations
 
+from functools import partial
 from time import perf_counter
 
 from ..minispark.context import Context
@@ -54,6 +55,14 @@ from ..rankings.bounds import (
     raw_threshold,
 )
 from ..rankings.dataset import RankingDataset
+from .compact import (
+    compact_ordering,
+    emit_prefix_tokens,
+    make_compact_kernels,
+    make_compact_typed_kernels,
+    pair_threshold as _pair_threshold,
+    validate_token_format,
+)
 from .grouping import distinct_pairs, grouped_join
 from .types import JoinResult, JoinStats, canonical_pair
 from .verification import verify, violates_position_filter
@@ -72,11 +81,16 @@ def cl_join(
     singleton_prefix: str = "safe",
     triangle_accept: bool = True,
     seed: int = 0,
+    token_format: str = "compact",
 ) -> JoinResult:
     """Run the clustering-based similarity join (CL; CL-P with delta).
 
     ``theta`` and ``theta_c`` are normalized; ``theta_c <= theta`` is
     required (the paper recommends ``theta_c < 0.05`` and uses 0.03).
+    ``token_format="compact"`` (the default) runs every shuffle over slim
+    integer-encoded records with a broadcast ranking store and the
+    rarest-common-prefix-item deduplication (:mod:`repro.joins.compact`);
+    ``"legacy"`` ships full ranking objects and deduplicates by shuffle.
     """
     if not 0.0 <= theta_c <= theta:
         raise ValueError(
@@ -86,6 +100,7 @@ def cl_join(
         raise ValueError(f"unknown singleton_prefix {singleton_prefix!r}")
     if variant not in ("index", "nl"):
         raise ValueError(f"unknown variant {variant!r}")
+    validate_token_format(token_format)
 
     num_partitions = num_partitions or ctx.default_parallelism
     k = dataset.k
@@ -100,6 +115,12 @@ def cl_join(
         from .bruteforce import bruteforce_join
 
         return bruteforce_join(dataset, theta)
+    if token_format == "compact":
+        return _cl_join_compact(
+            ctx, dataset, theta, theta_c, num_partitions, variant,
+            partition_threshold, use_position_filter, singleton_prefix,
+            triangle_accept, seed,
+        )
     stats = JoinStats()
     phase_seconds: dict = {}
 
@@ -324,15 +345,8 @@ def _same_cluster_pairs(members, theta_raw, theta_c_raw, stats):
 
 
 # ------------------------------------------------------------------ joining
-
-
-def _pair_threshold(singleton_a, singleton_b, theta_raw, theta_c_raw):
-    """Lemma 5.3: the retrieval threshold for a centroid pair by type."""
-    if singleton_a and singleton_b:
-        return theta_raw
-    if singleton_a or singleton_b:
-        return theta_raw + theta_c_raw
-    return theta_raw + 2 * theta_c_raw
+# (_pair_threshold — Lemma 5.3's per-type retrieval threshold — now lives
+# in repro.joins.compact as pair_threshold, shared by both token formats.)
 
 
 def _typed_value(left, singleton_left, right, singleton_right, distance):
@@ -487,5 +501,263 @@ def _expand_member_member(hop, members, theta_raw, stats, triangle_accept):
             continue
         stats.verified += 1
         distance = verify(member_i.ranking, member_j.ranking, theta_raw)
+        if distance is not None:
+            yield (pair, distance)
+
+
+# ------------------------------------------------------------- compact path
+
+
+def _cl_join_compact(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    theta_c: float,
+    num_partitions: int,
+    variant: str,
+    partition_threshold: int | None,
+    use_position_filter: bool,
+    singleton_prefix: str,
+    triangle_accept: bool,
+    seed: int,
+) -> JoinResult:
+    """CL over the compact shuffle path (:mod:`repro.joins.compact`).
+
+    Same four phases as the legacy body, but every shuffled record carries
+    rids and small ints instead of ranking objects: cluster pairs are
+    ``((i, j), d)``, clusters ``(centroid_rid, [(member_rid, d), ...])``,
+    join records ``((i, j), (d, singleton_i, singleton_j))``.  Full
+    rankings are resolved from the broadcast store only at verification.
+    The rarest-item rule makes the clustering and joining outputs
+    duplicate-free, so their ``distinct_pairs`` shuffles disappear; the
+    expansion-phase one stays (phases overlap in what they emit).
+    """
+    k = dataset.k
+    theta_raw = raw_threshold(theta, k)
+    theta_c_raw = raw_threshold(theta_c, k)
+    theta_o_raw = theta_raw + 2 * theta_c_raw
+    stats = JoinStats()
+    phase_seconds: dict = {}
+
+    # ------------------------------------------------------ Phase 1: order
+    start = perf_counter()
+    rdd = ctx.parallelize(dataset.rankings, num_partitions)
+    ordered, store, _encoder = compact_ordering(ctx, rdd)
+    phase_seconds["ordering"] = perf_counter() - start
+
+    # -------------------------------------------------- Phase 2: cluster
+    start = perf_counter()
+    p_c = overlap_prefix_size(theta_c_raw, k)
+    kernel_c, rs_kernel_c = make_compact_kernels(
+        variant, theta_c_raw, store, stats, use_position_filter
+    )
+    cluster_pairs = grouped_join(
+        ctx,
+        ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p_c)),
+        num_partitions,
+        kernel_c,
+        rs_kernel_c,
+    ).cache()
+    clusters = (
+        cluster_pairs.map(lambda kv: (kv[0][0], (kv[0][1], kv[1])))
+        .group_by_key(num_partitions)
+        .cache()
+    )
+    # Centroid/singleton roles, derived once on the driver: the pair ids
+    # are a subset of the final result set (d <= theta_c <= theta), so
+    # this collect is no larger than the join's own output, and it spares
+    # the legacy path's object-shuffling subtract/join jobs.
+    pair_ids = cluster_pairs.keys().collect()
+    centroid_rids: set = set()
+    clustered_rids: set = set()
+    for rid_i, rid_j in pair_ids:
+        centroid_rids.add(rid_i)
+        clustered_rids.add(rid_i)
+        clustered_rids.add(rid_j)
+    roles = {rid: False for rid in centroid_rids}
+    for rid in store.value:
+        if rid not in clustered_rids:
+            roles[rid] = True
+    flags = ctx.broadcast(roles)
+    stats.clusters = len(centroid_rids)
+    stats.singletons = len(roles) - len(centroid_rids)
+    stats.cluster_members = len(pair_ids)
+    member_member = clusters.flat_map(
+        lambda kv: _same_cluster_pairs_compact(
+            kv[1], store, theta_raw, theta_c_raw, stats
+        )
+    )
+    phase_seconds["clustering"] = perf_counter() - start
+
+    # ----------------------------------------------------- Phase 3: join
+    start = perf_counter()
+    p_m = overlap_prefix_size(theta_o_raw, k)
+    if singleton_prefix == "safe":
+        p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+    else:
+        p_s = overlap_prefix_size(theta_raw, k)
+
+    def emit_typed(o):
+        is_singleton = flags.value.get(o.rid)
+        if is_singleton is None:  # member of a cluster, not a centroid
+            return
+        prefix = o.prefix(p_s if is_singleton else p_m)
+        codes = tuple(sorted(code for code, _rank in prefix))
+        rid = o.rid
+        for code, rank in prefix:
+            yield (code, (rid, rank, codes, is_singleton))
+
+    kernel_j, rs_kernel_j = make_compact_typed_kernels(
+        variant, theta_raw, theta_c_raw, store, stats, use_position_filter
+    )
+    r_join = grouped_join(
+        ctx,
+        ordered.flat_map(emit_typed),
+        num_partitions,
+        kernel_j,
+        rs_kernel=rs_kernel_j,
+        partition_threshold=partition_threshold,
+        stats=stats,
+        seed=seed,
+    ).cache()
+    r_join.count()
+    phase_seconds["joining"] = perf_counter() - start
+
+    # ------------------------------------------------- Phase 4: expansion
+    start = perf_counter()
+    r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][2]).map(
+        lambda kv: (kv[0], kv[1][0])
+    )
+    r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][2])).cache()
+    r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+        lambda kv: (kv[0], kv[1][0])
+    )
+
+    def direct_sides(kv):
+        (rid_i, rid_j), (d, singleton_i, singleton_j) = kv
+        if not singleton_i:
+            yield (rid_i, (rid_j, d))
+        if not singleton_j:
+            yield (rid_j, (rid_i, d))
+
+    r_m_directed = r_m.flat_map(direct_sides)
+    member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
+        lambda kv: _expand_member_centroid_compact(
+            kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+        )
+    )
+
+    both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][2])
+    first_hop = (
+        both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+        .join(clusters, num_partitions)
+        .flat_map(
+            lambda kv: (
+                (kv[1][0][0], (member, dist, kv[1][0][1]))
+                for member, dist in kv[1][1]
+            )
+        )
+    )
+    member_member_across = first_hop.join(clusters, num_partitions).flat_map(
+        lambda kv: _expand_member_member_compact(
+            kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+        )
+    )
+
+    everything = (
+        cluster_pairs.union(member_member)
+        .union(r_ss)
+        .union(r_m_direct)
+        .union(member_centroid)
+        .union(member_member_across)
+    )
+    final = distinct_pairs(everything, num_partitions).collect()
+    phase_seconds["expansion"] = perf_counter() - start
+
+    results = [(i, j, d) for (i, j), d in final]
+    stats.results = len(results)
+    name = "cl-p" if partition_threshold is not None else "cl"
+    return JoinResult(
+        pairs=results,
+        theta=theta,
+        k=k,
+        stats=stats,
+        phase_seconds=phase_seconds,
+        algorithm=name,
+    )
+
+
+def _same_cluster_pairs_compact(members, store, theta_raw, theta_c_raw, stats):
+    """Compact member-member pairs of one cluster (rids only, store verify)."""
+    members = sorted(members)
+    certain = 2 * theta_c_raw <= theta_raw
+    lookup = store.value
+    for a_index, (first, _d1) in enumerate(members):
+        for second, _d2 in members[a_index + 1 :]:
+            pair = canonical_pair(first, second)
+            if certain:
+                stats.triangle_accepted += 1
+                yield (pair, None)
+            else:
+                stats.candidates += 1
+                stats.verified += 1
+                distance = verify(
+                    lookup[first].ranking, lookup[second].ranking, theta_raw
+                )
+                if distance is not None:
+                    yield (pair, distance)
+
+
+def _expand_member_centroid_compact(
+    members, other_with_distance, store, theta_raw, stats, triangle_accept
+):
+    """Compact R_{m,c}: members (rids) of one cluster vs. the other side."""
+    other, centroid_distance = other_with_distance
+    lookup = store.value
+    for member, member_distance in members:
+        if member == other:
+            continue
+        stats.candidates += 1
+        if abs(centroid_distance - member_distance) > theta_raw:
+            stats.triangle_filtered += 1
+            continue
+        pair = canonical_pair(member, other)
+        if triangle_accept and centroid_distance + member_distance <= theta_raw:
+            stats.triangle_accepted += 1
+            yield (pair, None)
+            continue
+        stats.verified += 1
+        distance = verify(
+            lookup[member].ranking, lookup[other].ranking, theta_raw
+        )
+        if distance is not None:
+            yield (pair, distance)
+
+
+def _expand_member_member_compact(
+    hop, members, store, theta_raw, stats, triangle_accept
+):
+    """Compact R_{m,m}: first-cluster member (rid) vs. second's members."""
+    member_i, distance_i, centroid_distance = hop
+    lookup = store.value
+    for member_j, distance_j in members:
+        if member_i == member_j:
+            continue
+        stats.candidates += 1
+        if centroid_distance - distance_i - distance_j > theta_raw:
+            stats.triangle_filtered += 1
+            continue
+        pair = canonical_pair(member_i, member_j)
+        if (
+            triangle_accept
+            and centroid_distance + distance_i + distance_j <= theta_raw
+        ):
+            stats.triangle_accepted += 1
+            yield (pair, None)
+            continue
+        stats.verified += 1
+        distance = verify(
+            lookup[member_i].ranking, lookup[member_j].ranking, theta_raw
+        )
         if distance is not None:
             yield (pair, distance)

@@ -105,7 +105,8 @@ class PrefixFilterJoin:
         index: dict = {}
         for probe in ordered:
             seen: set = set()
-            for item, _rank in probe.prefix(p):
+            probe_prefix = probe.prefix(p)
+            for item, _rank in probe_prefix:
                 for other in index.get(item, ()):
                     if other.rid in seen:
                         continue
@@ -121,7 +122,7 @@ class PrefixFilterJoin:
                         pairs.append(
                             (*canonical_pair(probe.rid, other.rid), distance)
                         )
-            for item, _rank in probe.prefix(p):
+            for item, _rank in probe_prefix:
                 index.setdefault(item, []).append(probe)
         return JoinResult(
             pairs=pairs,
@@ -149,7 +150,8 @@ def join_group_indexed(
     index: dict = {}
     for probe in members:
         seen: set = set()
-        for item, _rank in probe.prefix(prefix_size):
+        probe_prefix = probe.prefix(prefix_size)
+        for item, _rank in probe_prefix:
             bucket = index.get(item)
             if not bucket:
                 continue
@@ -166,7 +168,7 @@ def join_group_indexed(
                 )
                 if distance is not None:
                     yield canonical_pair(probe.rid, other.rid), distance
-        for item, _rank in probe.prefix(prefix_size):
+        for item, _rank in probe_prefix:
             index.setdefault(item, []).append(probe)
 
 

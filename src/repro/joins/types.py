@@ -25,11 +25,15 @@ class JoinStats:
     ``position_filtered`` those killed by the position filter,
     ``triangle_filtered``/``triangle_accepted`` the expansion-phase
     shortcuts, and ``verified`` the full Footrule computations — the cost
-    the filters exist to avoid.
+    the filters exist to avoid.  ``dedup_skipped`` counts pairs the
+    compact path's rarest-common-prefix-item rule skipped because another
+    group owns them — the duplicates the legacy path re-verified and then
+    dropped in a dedicated shuffle.
     """
 
     candidates: int = 0
     position_filtered: int = 0
+    dedup_skipped: int = 0
     triangle_filtered: int = 0
     triangle_accepted: int = 0
     verified: int = 0

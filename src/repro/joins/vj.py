@@ -18,8 +18,19 @@ Pipeline (one mini-Spark job chain, mirroring the paper's Spark stages):
      the paper argues is more native to Spark's memory model.
 
 4. **Deduplication** — the same pair can be found under several shared
-   items; a final reduceByKey keeps one copy (the paper's "remove the
-   duplicate pairs" phase).
+   items; the legacy token format drops duplicates with a final
+   reduceByKey (the paper's "remove the duplicate pairs" phase), while
+   the default compact format generates each pair under exactly one item
+   (the rarest shared prefix item) and skips that shuffle entirely.
+
+``token_format`` selects the shuffle payload: ``"compact"`` (the default)
+ships slim integer-encoded ``(rid, key_rank, prefix_codes)`` tokens and
+resolves full rankings from a broadcast store at verification time (see
+:mod:`repro.joins.compact`); ``"legacy"`` ships the whole
+``OrderedRanking`` per token, kept as the reference path and property-test
+oracle.  ``oracle_distinct=True`` runs the (now redundant) deduplication
+shuffle on the compact path anyway, which property tests use to assert the
+rarest-item rule really leaves nothing to deduplicate.
 
 ``partition_threshold`` activates Section 6's repartitioning of oversized
 groups (used standalone here; the CL-P algorithm applies it inside its
@@ -35,6 +46,12 @@ from ..minispark.context import Context
 from ..rankings.bounds import admits_disjoint_pairs, raw_threshold
 from ..rankings.dataset import RankingDataset
 from ..rankings.ordering import order_ranking
+from .compact import (
+    compact_ordering,
+    emit_prefix_tokens,
+    make_compact_kernels,
+    validate_token_format,
+)
 from .grouping import distinct_pairs, grouped_join
 from .local import (
     join_group_indexed,
@@ -55,6 +72,8 @@ def vj_join(
     use_position_filter: bool = True,
     partition_threshold: int | None = None,
     seed: int = 0,
+    token_format: str = "compact",
+    oracle_distinct: bool = False,
 ) -> JoinResult:
     """Run VJ (``variant="index"``) or VJ-NL (``variant="nl"``).
 
@@ -63,6 +82,7 @@ def vj_join(
     """
     if variant not in ("index", "nl"):
         raise ValueError(f"unknown variant {variant!r}")
+    validate_token_format(token_format)
     num_partitions = num_partitions or ctx.default_parallelism
     theta_raw = raw_threshold(theta, dataset.k)
     if admits_disjoint_pairs(theta_raw, dataset.k):
@@ -77,16 +97,25 @@ def vj_join(
 
     start = perf_counter()
     rdd = ctx.parallelize(dataset.rankings, num_partitions)
-    ordered = order_rankings_rdd(ctx, rdd, prefix)
+    if token_format == "compact":
+        ordered, store, _encoder = compact_ordering(ctx, rdd, prefix)
+    else:
+        ordered = order_rankings_rdd(ctx, rdd, prefix)
     phase_seconds["ordering"] = perf_counter() - start
 
     start = perf_counter()
-    tokens = ordered.flat_map(
-        lambda o: ((item, o) for item, _rank in o.prefix(p))
-    )
-    kernel, rs_kernel = make_kernels(
-        variant, p, theta_raw, stats, use_position_filter
-    )
+    if token_format == "compact":
+        tokens = ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p))
+        kernel, rs_kernel = make_compact_kernels(
+            variant, theta_raw, store, stats, use_position_filter
+        )
+    else:
+        tokens = ordered.flat_map(
+            lambda o: ((item, o) for item, _rank in o.prefix(p))
+        )
+        kernel, rs_kernel = make_kernels(
+            variant, p, theta_raw, stats, use_position_filter
+        )
     pairs = grouped_join(
         ctx,
         tokens,
@@ -97,8 +126,11 @@ def vj_join(
         stats=stats,
         seed=seed,
     )
-    unique = distinct_pairs(pairs, num_partitions)
-    results = [(i, j, d) for (i, j), d in unique.collect()]
+    if token_format == "legacy" or oracle_distinct:
+        # The rarest-item rule makes this shuffle a no-op on the compact
+        # path; oracle_distinct keeps it as a property-test oracle.
+        pairs = distinct_pairs(pairs, num_partitions)
+    results = [(i, j, d) for (i, j), d in pairs.collect()]
     phase_seconds["join"] = perf_counter() - start
 
     stats.results = len(results)

@@ -18,8 +18,9 @@ The model is deliberately simple and fully documented:
   greedy rule (what a work-stealing scheduler approximates);
 * stages execute serially (Spark stages synchronize at shuffles);
 * every task pays a fixed scheduling latency;
-* every shuffled record pays a fixed serialization + network cost that is
-  divided across nodes (more nodes = more aggregate NIC bandwidth).
+* every shuffled record pays a fixed serialization + network cost, and
+  every shuffled byte a per-byte wire cost, together divided across nodes
+  (more nodes = more aggregate NIC bandwidth).
 
 The model preserves exactly the effects the paper's scaling experiments
 measure — task skew limiting speedup, shuffle volume, and slot count —
@@ -82,6 +83,7 @@ class CostModel:
 
     task_latency_seconds: float = 0.0005
     shuffle_record_seconds: float = 2.0e-7
+    shuffle_byte_seconds: float = 2.0e-9
     stage_overhead_seconds: float = 0.002
 
 
@@ -108,22 +110,34 @@ class ClusterModel:
             heapq.heappush(loads, lightest + duration)
         return max(loads)
 
-    def stage_seconds(self, task_seconds: list, shuffle_records: int) -> float:
-        """Simulated wall time of one stage."""
+    def stage_seconds(
+        self,
+        task_seconds: list,
+        shuffle_records: int,
+        shuffle_bytes: int = 0,
+    ) -> float:
+        """Simulated wall time of one stage.
+
+        The network term charges both a per-record cost (serialization
+        call overhead, framing) and a per-byte cost (the wire itself), so
+        a path that shuffles the same record count in fewer bytes — the
+        compact token format — is rewarded by the replay.
+        """
         cost = self.cost_model
         padded = [t + cost.task_latency_seconds for t in task_seconds]
         compute = self.makespan(padded, self.config.slots)
         network = (
-            shuffle_records
-            * cost.shuffle_record_seconds
-            / max(1, self.config.num_nodes)
-        )
+            shuffle_records * cost.shuffle_record_seconds
+            + shuffle_bytes * cost.shuffle_byte_seconds
+        ) / max(1, self.config.num_nodes)
         return cost.stage_overhead_seconds + compute + network
 
     def simulate(self, job: JobMetrics) -> float:
         """Simulated wall time of a whole job: stages run back to back."""
         return sum(
-            self.stage_seconds(stage.task_seconds, stage.shuffle_records)
+            self.stage_seconds(
+                stage.task_seconds, stage.shuffle_records, stage.shuffle_bytes
+            )
             for stage in job.stages
         )
 

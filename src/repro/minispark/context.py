@@ -79,6 +79,11 @@ class Context:
     max_workers:
         Concurrent task slots of the parallel backends (defaults to the
         CPU count; ignored by ``"serial"``).
+    shuffle_byte_sample:
+        How many records per shuffle bucket the scheduler pickles to
+        estimate ``StageMetrics.shuffle_bytes`` (stride sampling; see
+        :func:`repro.minispark.scheduler.estimate_shuffle_bytes`).
+        ``0`` disables byte accounting entirely.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class Context:
         task_retries: int = 0,
         executor: str | TaskExecutor = "serial",
         max_workers: int | None = None,
+        shuffle_byte_sample: int = 64,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -96,8 +102,13 @@ class Context:
             )
         if task_retries < 0:
             raise ValueError(f"task_retries must be >= 0, got {task_retries}")
+        if shuffle_byte_sample < 0:
+            raise ValueError(
+                f"shuffle_byte_sample must be >= 0, got {shuffle_byte_sample}"
+            )
         self.default_parallelism = default_parallelism
         self.task_retries = task_retries
+        self.shuffle_byte_sample = shuffle_byte_sample
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel()
         self.executor = make_executor(executor, max_workers)

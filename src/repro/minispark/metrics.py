@@ -1,7 +1,10 @@
 """Execution metrics collected by the mini-Spark scheduler.
 
-Every job records, per stage, the wall-clock duration of each task and the
-record counts flowing through.  The measurements serve two purposes:
+Every job records, per stage, the wall-clock duration of each task, the
+record counts flowing through, and — for shuffle map stages — the
+estimated pickled size of what crossed the (simulated) wire
+(``shuffle_bytes``, stride-sampled by the scheduler).  The measurements
+serve two purposes:
 
 * they are the raw material of the :class:`repro.minispark.cluster
   .ClusterModel`, which replays the task durations onto a configurable
@@ -36,6 +39,7 @@ class StageMetrics:
     records_in: int = 0
     records_out: int = 0
     shuffle_records: int = 0
+    shuffle_bytes: int = 0
     task_failures: int = 0
     wall_seconds: float = 0.0
 
@@ -98,6 +102,10 @@ class JobMetrics:
     @property
     def total_shuffle_records(self) -> int:
         return sum(s.shuffle_records for s in self.stages)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(s.shuffle_bytes for s in self.stages)
 
     @property
     def num_tasks(self) -> int:

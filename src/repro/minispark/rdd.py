@@ -46,7 +46,9 @@ class ShuffleDependency(Dependency):
     ``aggregator`` optionally enables map-side combining:
     ``(create, merge_value, merge_combiners)``.  ``outputs[i]`` holds the
     records routed to child partition ``i`` once the scheduler has run the
-    map stage; ``records`` counts what crossed the (simulated) wire.
+    map stage; ``records`` counts what crossed the (simulated) wire and
+    ``bytes`` estimates its serialized size (sampled pickling, see
+    :func:`repro.minispark.scheduler.estimate_shuffle_bytes`).
     """
 
     def __init__(self, parent: "RDD", partitioner: Partitioner, aggregator=None):
@@ -55,6 +57,7 @@ class ShuffleDependency(Dependency):
         self.aggregator = aggregator
         self.outputs: list | None = None
         self.records = 0
+        self.bytes = 0
 
     @property
     def materialized(self) -> bool:

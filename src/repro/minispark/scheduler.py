@@ -26,10 +26,47 @@ reuse an upstream RDD do not pay for the exchange twice.
 
 from __future__ import annotations
 
+import pickle
 from time import perf_counter
 
 from .metrics import JobMetrics, StageMetrics
 from .rdd import RDD, ShuffleDependency
+
+
+def estimate_shuffle_bytes(outputs: list, sample: int) -> int:
+    """Estimate the pickled size of a shuffle's output buckets.
+
+    Pickling every record would dominate small jobs, so up to ``sample``
+    records per bucket are measured at a fixed stride and the mean record
+    size is extrapolated to the bucket's full record count — the same
+    sampling trade-off Spark makes for its own size estimators.  ``sample
+    <= 0`` disables byte accounting (returns 0); records that refuse to
+    pickle are skipped rather than failing the job, since the bytes are
+    bookkeeping, not data flow.
+    """
+    if sample <= 0:
+        return 0
+    total_records = sum(len(bucket) for bucket in outputs)
+    if total_records == 0:
+        return 0
+    measured_bytes = 0
+    measured = 0
+    for bucket in outputs:
+        size = len(bucket)
+        if size == 0:
+            continue
+        stride = max(1, -(-size // sample))  # ceil: at most `sample` probes
+        for index in range(0, size, stride):
+            try:
+                measured_bytes += len(
+                    pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
+                )
+            except Exception:
+                continue
+            measured += 1
+    if measured == 0:
+        return 0
+    return round(total_records * (measured_bytes / measured))
 
 
 class Scheduler:
@@ -134,8 +171,12 @@ class Scheduler:
             stage.records_in += count
         stage.shuffle_records = sum(len(bucket) for bucket in outputs)
         stage.records_out = stage.shuffle_records
+        stage.shuffle_bytes = estimate_shuffle_bytes(
+            outputs, self.context.shuffle_byte_sample
+        )
         dep.outputs = outputs
         dep.records = stage.shuffle_records
+        dep.bytes = stage.shuffle_bytes
 
     @staticmethod
     def _bucket_raw(parent: RDD, index: int, partitioner, outputs: list) -> int:

@@ -31,6 +31,7 @@ from .generator import (
     make_dataset,
     zipf_weights,
 )
+from .encoding import ItemEncoder, encode_ordered, encode_rank_ordered
 from .ordering import (
     OrderedRanking,
     frequency_order_key,
@@ -50,9 +51,12 @@ from .variable import (
 __all__ = [
     "PROFILES",
     "DatasetProfile",
+    "ItemEncoder",
     "OrderedRanking",
     "Ranking",
     "RankingDataset",
+    "encode_ordered",
+    "encode_rank_ordered",
     "footrule",
     "footrule_normalized",
     "footrule_variable",

@@ -1,0 +1,263 @@
+"""The compact shuffle path returns byte-identical results to legacy.
+
+The compact token format changes *everything about what is shuffled* —
+integer-encoded rankings, slim ``(rid, key_rank, prefix_codes)`` tokens, a
+broadcast ranking store, and the rarest-common-prefix-item deduplication
+rule — and nothing about what is returned.  These tests pin that contract
+three ways:
+
+* hypothesis equivalence: on adversarial tiny-domain datasets, compact ==
+  legacy == brute force for vj, vj-nl, cl, and cl-p, across prefix
+  schemes and the repartitioning branch, comparing full ``(i, j, d)``
+  tuples (including which distances are ``None``), not just pair sets;
+* the rarest-item rule really leaves nothing to deduplicate: running the
+  (redundant) ``distinct_pairs`` shuffle anyway (``oracle_distinct``)
+  changes nothing, and compact results contain no duplicate pairs;
+* executor independence: serial, threads, and processes backends agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.joins import bruteforce_join, cl_join, vj_join
+from repro.joins.compact import (
+    first_common,
+    pair_threshold,
+    validate_token_format,
+)
+from repro.minispark import Context
+from repro.rankings import Ranking, RankingDataset
+from repro.rankings.encoding import (
+    ItemEncoder,
+    encode_ordered,
+    encode_rank_ordered,
+)
+from repro.rankings.ordering import item_frequencies, order_ranking
+
+K = 5
+DOMAIN = list(range(11))
+
+
+def datasets(min_size=2, max_size=14):
+    ranking = st.permutations(DOMAIN).map(lambda p: tuple(p[:K]))
+    return st.lists(ranking, min_size=min_size, max_size=max_size).map(
+        lambda rows: RankingDataset(
+            [Ranking(i, row) for i, row in enumerate(rows)]
+        )
+    )
+
+
+thetas = st.sampled_from([0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.95, 1.0])
+
+
+def _pairs(result):
+    """Full result tuples, sorted — None distances must match too."""
+    return sorted(
+        result.pairs, key=lambda t: (t[0], t[1], t[2] is None, t[2] or 0.0)
+    )
+
+
+# ----------------------------------------------------- hypothesis: VJ family
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    datasets(),
+    thetas,
+    st.sampled_from(["overlap", "ordered"]),
+    st.sampled_from(["index", "nl"]),
+)
+def test_vj_compact_equals_legacy_and_bruteforce(
+    dataset, theta, prefix, variant
+):
+    legacy = vj_join(
+        Context(3), dataset, theta, prefix=prefix, variant=variant,
+        token_format="legacy",
+    )
+    compact = vj_join(
+        Context(3), dataset, theta, prefix=prefix, variant=variant,
+        token_format="compact",
+    )
+    assert _pairs(compact) == _pairs(legacy)
+    assert compact.pair_set() == bruteforce_join(dataset, theta).pair_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), thetas, st.integers(min_value=2, max_value=6))
+def test_vj_compact_repartitioned_equals_legacy(dataset, theta, delta):
+    legacy = vj_join(
+        Context(3), dataset, theta, variant="nl", partition_threshold=delta,
+        token_format="legacy",
+    )
+    compact = vj_join(
+        Context(3), dataset, theta, variant="nl", partition_threshold=delta,
+        token_format="compact",
+    )
+    assert _pairs(compact) == _pairs(legacy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), thetas, st.sampled_from(["index", "nl"]))
+def test_vj_compact_generates_each_pair_exactly_once(dataset, theta, variant):
+    with_oracle = vj_join(
+        Context(3), dataset, theta, variant=variant, token_format="compact",
+        oracle_distinct=True,
+    )
+    without = vj_join(
+        Context(3), dataset, theta, variant=variant, token_format="compact"
+    )
+    # distinct_pairs merges duplicates; if the rarest-item rule left any,
+    # the undeduplicated run would return more records.
+    assert _pairs(without) == _pairs(with_oracle)
+    pairs = [(i, j) for i, j, _ in without.pairs]
+    assert len(pairs) == len(set(pairs))
+
+
+# ------------------------------------------------------- hypothesis: CL
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    datasets(),
+    thetas,
+    st.sampled_from([0.0, 0.02, 0.05, 0.1]),
+    st.sampled_from(["index", "nl"]),
+)
+def test_cl_compact_equals_legacy_and_bruteforce(
+    dataset, theta, theta_c, variant
+):
+    theta_c = min(theta_c, theta)
+    legacy = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c, variant=variant,
+        token_format="legacy",
+    )
+    compact = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c, variant=variant,
+        token_format="compact",
+    )
+    assert _pairs(compact) == _pairs(legacy)
+    assert compact.pair_set() == bruteforce_join(dataset, theta).pair_set()
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets(), thetas, st.integers(min_value=2, max_value=6))
+def test_clp_compact_equals_legacy(dataset, theta, delta):
+    theta_c = min(0.03, theta)
+    legacy = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c,
+        partition_threshold=delta, token_format="legacy",
+    )
+    compact = cl_join(
+        Context(3), dataset, theta, theta_c=theta_c,
+        partition_threshold=delta, token_format="compact",
+    )
+    assert _pairs(compact) == _pairs(legacy)
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets(), thetas)
+def test_cl_compact_no_duplicate_pairs(dataset, theta):
+    result = cl_join(
+        Context(3), dataset, theta, theta_c=min(0.03, theta),
+        token_format="compact",
+    )
+    pairs = [(i, j) for i, j, _ in result.pairs]
+    assert len(pairs) == len(set(pairs))
+
+
+# --------------------------------------------------- executors (one shot)
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+@pytest.mark.parametrize(
+    "algorithm, kwargs",
+    [
+        ("vj", dict(variant="index")),
+        ("vj-nl", dict(variant="nl")),
+        ("cl", dict()),
+        ("cl-p", dict(partition_threshold=8)),
+    ],
+)
+def test_compact_equals_legacy_on_every_executor(
+    small_dblp, executor, algorithm, kwargs
+):
+    def run(token_format):
+        ctx = Context(default_parallelism=4, executor=executor)
+        if algorithm.startswith("vj"):
+            return vj_join(
+                ctx, small_dblp, 0.2, token_format=token_format, **kwargs
+            )
+        return cl_join(
+            ctx, small_dblp, 0.2, token_format=token_format, **kwargs
+        )
+
+    assert _pairs(run("compact")) == _pairs(run("legacy"))
+
+
+# ------------------------------------------------------------- unit tests
+
+
+int_tuples = st.lists(
+    st.integers(min_value=0, max_value=30), max_size=8
+).map(lambda xs: tuple(sorted(set(xs))))
+
+
+@settings(max_examples=200, deadline=None)
+@given(int_tuples, int_tuples)
+def test_first_common_is_min_of_intersection(a, b):
+    shared = set(a) & set(b)
+    expected = min(shared) if shared else None
+    assert first_common(a, b) == expected
+
+
+def test_item_encoder_codes_follow_canonical_order():
+    frequencies = {"a": 3, "b": 1, "c": 1, "d": 2}
+    encoder = ItemEncoder(frequencies)
+    # ascending (frequency, item): b, c, d, a
+    assert encoder.items == ("b", "c", "d", "a")
+    assert [encoder.encode(x) for x in "bcda"] == [0, 1, 2, 3]
+    assert [encoder.decode(code) for code in range(4)] == list("bcda")
+    assert len(encoder) == 4
+    with pytest.raises(KeyError):
+        encoder.encode("zebra")
+
+
+@settings(max_examples=60, deadline=None)
+@given(datasets())
+def test_encode_ordered_matches_legacy_canonical_order(dataset):
+    frequencies = item_frequencies(dataset.rankings)
+    encoder = ItemEncoder(frequencies)
+    for ranking in dataset:
+        legacy = order_ranking(ranking, frequencies)
+        encoded = encode_ordered(ranking, encoder)
+        assert [
+            (encoder.decode(code), rank) for code, rank in encoded.pairs
+        ] == list(legacy.pairs)
+        assert encoded.ranking.items == tuple(
+            encoder.encode(item) for item in ranking.items
+        )
+
+
+def test_encode_rank_ordered_keeps_rank_order():
+    encoder = ItemEncoder({10: 5, 20: 1, 30: 3})
+    encoded = encode_rank_ordered(Ranking(0, [10, 30, 20]), encoder)
+    assert [rank for _code, rank in encoded.pairs] == [0, 1, 2]
+    assert [encoder.decode(c) for c, _ in encoded.pairs] == [10, 30, 20]
+
+
+def test_pair_threshold_matches_lemma_5_3():
+    assert pair_threshold(True, True, 10.0, 2.0) == 10.0
+    assert pair_threshold(True, False, 10.0, 2.0) == 12.0
+    assert pair_threshold(False, True, 10.0, 2.0) == 12.0
+    assert pair_threshold(False, False, 10.0, 2.0) == 14.0
+
+
+def test_validate_token_format_rejects_unknown():
+    assert validate_token_format("compact") == "compact"
+    assert validate_token_format("legacy") == "legacy"
+    with pytest.raises(ValueError, match="token_format"):
+        validate_token_format("tight")
+    with pytest.raises(ValueError, match="token_format"):
+        vj_join(Context(3), RankingDataset([Ranking(0, [1, 2, 3])]), 0.1,
+                token_format="tight")
