@@ -25,6 +25,7 @@ from time import perf_counter
 from ..joins.clustered import cl_join
 from ..joins.types import JoinResult
 from ..joins.vj import vj_join
+from ..minispark.chaos import FaultPlan, SpeculationPolicy
 from ..minispark.cluster import ClusterConfig
 from ..minispark.context import Context
 from .workloads import load_workload
@@ -58,6 +59,9 @@ class RunConfig:
     executor: str = "serial"
     max_workers: int | None = None
     token_format: str = "compact"
+    task_retries: int = 0
+    chaos: FaultPlan | None = None
+    speculation: SpeculationPolicy | None = None
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.workload}/theta={self.theta}"
@@ -75,6 +79,7 @@ class RunRecord:
     stats: dict
     shuffle_records: int = 0
     shuffle_bytes: int = 0
+    recovery: dict = field(default_factory=dict)
     dnf: bool = False
 
     def simulated_on(self, cluster: str) -> float:
@@ -101,6 +106,9 @@ def run(
         default_parallelism=config.num_partitions,
         executor=config.executor,
         max_workers=config.max_workers,
+        task_retries=config.task_retries,
+        chaos=config.chaos,
+        speculation=config.speculation,
     )
     if ctx.executor.name == "processes":
         for ranking in dataset.rankings:
@@ -123,6 +131,7 @@ def run(
         stats=vars(result.stats).copy(),
         shuffle_records=combined.total_shuffle_records,
         shuffle_bytes=combined.total_shuffle_bytes,
+        recovery=ctx.metrics.recovery_summary(),
     )
 
 

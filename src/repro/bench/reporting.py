@@ -96,6 +96,10 @@ def record_payload(record) -> dict:
         "position_filtered": record.stats.get("position_filtered", 0),
         "shuffle_records": getattr(record, "shuffle_records", 0),
         "shuffle_bytes": getattr(record, "shuffle_bytes", 0),
+        "task_retries": getattr(config, "task_retries", 0),
+        "chaos_seed": config.chaos.seed if getattr(config, "chaos", None)
+        else None,
+        "recovery": dict(getattr(record, "recovery", {}) or {}),
         "phase_seconds": dict(record.phase_seconds),
         "dnf": record.dnf,
     }

@@ -27,6 +27,7 @@ from .analysis import (
     suggest_partition_threshold,
 )
 from .joins.api import ALGORITHMS, similarity_join
+from .minispark.chaos import FaultPlan, SpeculationPolicy
 from .minispark.context import Context
 from .minispark.executors import EXECUTOR_NAMES
 from .rankings.dataset import RankingDataset
@@ -72,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
                       default="compact",
                       help="shuffle payload for vj/vj-nl/cl/cl-p: compact "
                       "integer tokens (default) or legacy ranking objects")
+    join.add_argument("--task-retries", type=int, default=0,
+                      help="retry budget per task before the job fails "
+                      "(default 0: fail fast)")
+    join.add_argument("--chaos-seed", type=int, default=0,
+                      help="seed of the fault-injection plan (only used "
+                      "when a chaos rate is nonzero)")
+    join.add_argument("--chaos-rate", type=float, default=0.0,
+                      help="per-attempt probability of an injected "
+                      "transient task failure (default 0: no chaos)")
+    join.add_argument("--chaos-straggler-rate", type=float, default=0.0,
+                      help="per-attempt probability of an injected task "
+                      "slowdown")
+    join.add_argument("--chaos-kill-rate", type=float, default=0.0,
+                      help="per-task probability of hard worker death "
+                      "(processes executor only)")
+    join.add_argument("--speculation", action="store_true",
+                      help="duplicate straggling tasks on parallel "
+                      "backends (first finished attempt wins)")
     join.add_argument("-o", "--output", default=None,
                       help="write pairs here instead of stdout")
 
@@ -107,10 +126,22 @@ def _cmd_join(args) -> int:
             args.delta = suggest_partition_threshold(dataset, args.theta)
             print(f"delta not given; using Eq. 4 suggestion {args.delta}")
         options["partition_threshold"] = args.delta
+    chaos = None
+    if args.chaos_rate or args.chaos_straggler_rate or args.chaos_kill_rate:
+        chaos = FaultPlan(
+            seed=args.chaos_seed,
+            transient_rate=args.chaos_rate,
+            straggler_rate=args.chaos_straggler_rate,
+            kill_rate=args.chaos_kill_rate,
+        )
+    ctx = Context(
+        default_parallelism=args.partitions,
+        executor=args.executor, max_workers=args.max_workers,
+        task_retries=args.task_retries, chaos=chaos,
+        speculation=SpeculationPolicy() if args.speculation else None,
+    )
     result = similarity_join(
-        dataset, args.theta, algorithm=args.algorithm,
-        ctx=Context(default_parallelism=args.partitions,
-                    executor=args.executor, max_workers=args.max_workers),
+        dataset, args.theta, algorithm=args.algorithm, ctx=ctx,
         num_partitions=args.partitions, **options,
     ).with_distances(dataset)
 
@@ -127,6 +158,20 @@ def _cmd_join(args) -> int:
         f"verified {result.stats.verified}",
         file=sys.stderr,
     )
+    recovery = ctx.metrics.recovery_summary()
+    if any(recovery[key] for key in ("retries", "chaos_faults",
+                                     "speculative_wins", "worker_respawns",
+                                     "stages_recomputed")) \
+            or recovery["executor_fallbacks"]:
+        print(
+            f"# recovery: retries {recovery['retries']}, "
+            f"chaos faults {recovery['chaos_faults']}, "
+            f"speculative wins {recovery['speculative_wins']}, "
+            f"worker respawns {recovery['worker_respawns']}, "
+            f"stages recomputed {recovery['stages_recomputed']}, "
+            f"fallbacks {recovery['executor_fallbacks']}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -24,6 +24,7 @@ metric-partition  random-centroid metric baseline (the §5.1 strawman)
 
 from __future__ import annotations
 
+from ..minispark.chaos import ExecutorBrokenError, FaultPlan, SpeculationPolicy
 from ..minispark.context import Context
 from ..rankings.dataset import RankingDataset
 from .bruteforce import bruteforce_join
@@ -39,6 +40,10 @@ ALGORITHMS = (
     "metric-partition",
 )
 
+#: Backend to fall back to when the current one is marked broken
+#: (a worker kept dying past the respawn budget).
+DEGRADATION_CHAIN = {"processes": "threads", "threads": "serial"}
+
 
 def similarity_join(
     dataset: RankingDataset,
@@ -49,6 +54,10 @@ def similarity_join(
     executor: str | None = None,
     max_workers: int | None = None,
     token_format: str | None = None,
+    task_retries: int | None = None,
+    chaos: FaultPlan | None = None,
+    speculation: SpeculationPolicy | None = None,
+    degrade_on_failure: bool = True,
     **options,
 ) -> JoinResult:
     """Find all ranking pairs within normalized Footrule distance ``theta``.
@@ -79,6 +88,24 @@ def similarity_join(
         ``"legacy"`` (full ranking objects per token, deduplicated by
         shuffle).  Results are identical; only shuffle volume differs.
         Rejected for algorithms without a token pipeline.
+    task_retries:
+        Retry budget per task for the auto-created context (Spark's
+        ``spark.task.maxFailures - 1``).  Only valid without ``ctx``.
+    chaos:
+        Seeded :class:`~repro.minispark.chaos.FaultPlan` for the
+        auto-created context — injects transient failures, stragglers,
+        worker kills, and shuffle loss so recovery paths can be
+        exercised.  Only valid without ``ctx``.
+    speculation:
+        :class:`~repro.minispark.chaos.SpeculationPolicy` for the
+        auto-created context (duplicate straggling tasks,
+        first-finished-attempt wins).  Only valid without ``ctx``.
+    degrade_on_failure:
+        When a backend is marked broken
+        (:class:`~repro.minispark.chaos.ExecutorBrokenError`: workers
+        kept dying past the respawn budget), fall back along
+        processes -> threads -> serial and rerun instead of failing.
+        Fallbacks are recorded in ``ctx.metrics.fallbacks``.
     options:
         Algorithm-specific keywords — ``theta_c`` and
         ``partition_threshold`` for cl/cl-p, ``variant`` and
@@ -93,11 +120,15 @@ def similarity_join(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
-    if ctx is not None and executor is not None:
-        raise ValueError(
-            "pass either ctx or executor, not both — build the context "
-            "with Context(executor=...) instead"
-        )
+    if ctx is not None:
+        for name, value in (("executor", executor),
+                            ("task_retries", task_retries),
+                            ("chaos", chaos), ("speculation", speculation)):
+            if value is not None:
+                raise ValueError(
+                    f"pass either ctx or {name}, not both — build the "
+                    f"context with Context({name}=...) instead"
+                )
     if token_format is not None:
         if algorithm not in ("vj", "vj-nl", "cl", "cl-p"):
             raise ValueError(
@@ -109,13 +140,39 @@ def similarity_join(
     if algorithm == "local":
         return PrefixFilterJoin(theta, **options).join(dataset)
 
-    ctx = ctx or Context(executor=executor or "serial", max_workers=max_workers)
+    ctx = ctx or Context(
+        executor=executor or "serial",
+        max_workers=max_workers,
+        task_retries=task_retries or 0,
+        chaos=chaos,
+        speculation=speculation,
+    )
     if ctx.executor.name == "processes":
         # Build each ranking's item -> rank table up front: the tables are
         # pickled with the rankings, so forked verification tasks skip the
         # lazy per-object re-derivation on their private copies.
         for ranking in dataset.rankings:
             ranking.build_ranks()
+    while True:
+        try:
+            return _dispatch(ctx, dataset, theta, algorithm,
+                             num_partitions, options)
+        except ExecutorBrokenError as broken:
+            fallback = DEGRADATION_CHAIN.get(ctx.executor.name)
+            if not degrade_on_failure or fallback is None:
+                raise
+            ctx.degrade_executor(fallback, reason=str(broken))
+
+
+def _dispatch(
+    ctx: Context,
+    dataset: RankingDataset,
+    theta: float,
+    algorithm: str,
+    num_partitions: int | None,
+    options: dict,
+) -> JoinResult:
+    """Run one distributed algorithm on an existing context."""
     if algorithm == "vj":
         return vj_join(ctx, dataset, theta, num_partitions, **options)
     if algorithm == "vj-nl":

@@ -6,6 +6,18 @@ broadcast variables, per-task timing, and a cluster cost model that replays
 measured task durations onto a configurable ``executors x cores`` shape.
 """
 
+from .chaos import (
+    CHAOS_KILL_EXIT_CODE,
+    ChaosError,
+    ChaosPolicy,
+    ExecutorBrokenError,
+    FaultPlan,
+    RetryPolicy,
+    SpeculationPolicy,
+    TaskPolicy,
+    WorkerLostError,
+    is_transient,
+)
 from .cluster import TABLE3_CONFIG, ClusterConfig, ClusterModel, CostModel
 from .context import Accumulator, Broadcast, Context
 from .executors import (
@@ -26,14 +38,24 @@ from .partitioner import (
 from .rdd import RDD
 
 __all__ = [
+    "CHAOS_KILL_EXIT_CODE",
     "EXECUTOR_NAMES",
     "TABLE3_CONFIG",
     "Accumulator",
     "Broadcast",
+    "ChaosError",
+    "ChaosPolicy",
     "ClusterConfig",
     "ClusterModel",
     "Context",
     "CostModel",
+    "ExecutorBrokenError",
+    "FaultPlan",
+    "RetryPolicy",
+    "SpeculationPolicy",
+    "TaskPolicy",
+    "WorkerLostError",
+    "is_transient",
     "HashPartitioner",
     "ProcessTaskExecutor",
     "SerialExecutor",

@@ -85,6 +85,9 @@ class CostModel:
     shuffle_record_seconds: float = 2.0e-7
     shuffle_byte_seconds: float = 2.0e-9
     stage_overhead_seconds: float = 0.002
+    #: Cost of replacing one dead worker (re-fork + warm-up on a real
+    #: cluster: container relaunch, JVM spin-up); charged per respawn.
+    worker_respawn_seconds: float = 0.05
 
 
 class ClusterModel:
@@ -115,13 +118,19 @@ class ClusterModel:
         task_seconds: list,
         shuffle_records: int,
         shuffle_bytes: int = 0,
+        backoff_seconds: float = 0.0,
+        worker_respawns: int = 0,
     ) -> float:
         """Simulated wall time of one stage.
 
         The network term charges both a per-record cost (serialization
         call overhead, framing) and a per-byte cost (the wire itself), so
         a path that shuffles the same record count in fewer bytes — the
-        compact token format — is rewarded by the replay.
+        compact token format — is rewarded by the replay.  Recovery is
+        charged too: retry backoff waits and worker respawns extend the
+        stage (failed attempts' compute time already sits inside
+        ``task_seconds``), so a chaos run simulates slower than a clean
+        one — the cost the paper's Spark deployment pays for resilience.
         """
         cost = self.cost_model
         padded = [t + cost.task_latency_seconds for t in task_seconds]
@@ -130,13 +139,26 @@ class ClusterModel:
             shuffle_records * cost.shuffle_record_seconds
             + shuffle_bytes * cost.shuffle_byte_seconds
         ) / max(1, self.config.num_nodes)
-        return cost.stage_overhead_seconds + compute + network
+        recovery = (
+            backoff_seconds
+            + worker_respawns * cost.worker_respawn_seconds
+        )
+        return cost.stage_overhead_seconds + compute + network + recovery
 
     def simulate(self, job: JobMetrics) -> float:
-        """Simulated wall time of a whole job: stages run back to back."""
+        """Simulated wall time of a whole job: stages run back to back.
+
+        Recomputed stages need no special term: lineage recovery runs the
+        map stage again, so its tasks appear a second time in the job's
+        stage list and are replayed like any other work.
+        """
         return sum(
             self.stage_seconds(
-                stage.task_seconds, stage.shuffle_records, stage.shuffle_bytes
+                stage.task_seconds,
+                stage.shuffle_records,
+                stage.shuffle_bytes,
+                backoff_seconds=stage.backoff_seconds,
+                worker_respawns=stage.worker_respawns,
             )
             for stage in job.stages
         )

@@ -6,6 +6,7 @@ import os
 import threading
 from typing import Iterable
 
+from .chaos import FaultPlan, RetryPolicy, SpeculationPolicy
 from .cluster import ClusterConfig, ClusterModel, CostModel
 from .executors import TaskExecutor, make_executor
 from .metrics import MetricsCollector
@@ -83,7 +84,25 @@ class Context:
         How many records per shuffle bucket the scheduler pickles to
         estimate ``StageMetrics.shuffle_bytes`` (stride sampling; see
         :func:`repro.minispark.scheduler.estimate_shuffle_bytes`).
-        ``0`` disables byte accounting entirely.
+        The same sampling drives the shuffle integrity checksum that
+        lineage recovery validates.  ``0`` disables byte accounting and
+        degrades the checksum to bucket lengths only.
+    chaos:
+        A seeded :class:`~repro.minispark.chaos.FaultPlan` to inject at
+        task boundaries (transient exceptions, stragglers, worker kills,
+        shuffle loss).  ``None`` (default) injects nothing.
+    retry_policy:
+        Seeded exponential-backoff-with-jitter waits between retry
+        attempts (:class:`~repro.minispark.chaos.RetryPolicy`); defaults
+        to millisecond-scale waits.
+    speculation:
+        A :class:`~repro.minispark.chaos.SpeculationPolicy` enabling
+        duplicate attempts for straggling tasks on the threads and
+        processes backends.  ``None`` (default) disables speculation.
+    max_worker_respawns:
+        Per-stage budget of dead-worker respawns on the processes
+        backend before the stage raises
+        :class:`~repro.minispark.chaos.ExecutorBrokenError`.
     """
 
     def __init__(
@@ -95,6 +114,10 @@ class Context:
         executor: str | TaskExecutor = "serial",
         max_workers: int | None = None,
         shuffle_byte_sample: int = 64,
+        chaos: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        speculation: SpeculationPolicy | None = None,
+        max_worker_respawns: int = 4,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -106,9 +129,17 @@ class Context:
             raise ValueError(
                 f"shuffle_byte_sample must be >= 0, got {shuffle_byte_sample}"
             )
+        if max_worker_respawns < 0:
+            raise ValueError(
+                f"max_worker_respawns must be >= 0, got {max_worker_respawns}"
+            )
         self.default_parallelism = default_parallelism
         self.task_retries = task_retries
         self.shuffle_byte_sample = shuffle_byte_sample
+        self.chaos = chaos
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.speculation = speculation
+        self.max_worker_respawns = max_worker_respawns
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel()
         self.executor = make_executor(executor, max_workers)
@@ -136,6 +167,18 @@ class Context:
 
     def accumulator(self, initial=0) -> Accumulator:
         return Accumulator(initial)
+
+    def degrade_executor(self, name: str, reason: str = "") -> None:
+        """Swap the task backend for a simpler one after repeated failure.
+
+        Used by :func:`repro.joins.api.similarity_join` when a backend
+        raises :class:`~repro.minispark.chaos.ExecutorBrokenError`
+        (processes -> threads -> serial).  The fallback is recorded in
+        ``metrics.fallbacks`` so recovery stays visible in bench output.
+        """
+        old = self.executor.name
+        self.executor = make_executor(name, self.executor.max_workers)
+        self.metrics.record_fallback(old, name, reason)
 
     def simulated_seconds(self, cluster: ClusterConfig | None = None) -> float:
         """Replay all recorded jobs on a cluster shape (defaults to own)."""

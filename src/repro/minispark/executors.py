@@ -2,43 +2,62 @@
 
 The scheduler turns every stage into an ordered list of zero-argument
 *task thunks* (one per partition) and hands the whole list to a
-:class:`TaskExecutor`.  Three backends exist:
+:class:`TaskExecutor` together with a
+:class:`~repro.minispark.chaos.TaskPolicy` (retry budget, seeded backoff,
+chaos plan, speculation).  Three backends exist:
 
 ``serial``
     Runs tasks one after the other in the calling thread — the original
     deterministic behaviour, and the only backend that stops submitting
     work at the first exhausted task (matching classic fail-fast runs).
+    Serial is the reference: the fault-tolerant backends must return
+    byte-identical task values.
 
 ``threads``
     A ``concurrent.futures.ThreadPoolExecutor``.  Tasks share the parent
     process memory, so broadcast variables, accumulators, and RDD caches
-    behave exactly as in serial mode.  Pure-Python task bodies serialize
-    on the GIL; the win is bounded by whatever releases it (I/O, C
-    extensions) — see DESIGN.md "Execution backends".
+    behave exactly as in serial mode.  With a
+    :class:`~repro.minispark.chaos.SpeculationPolicy`, straggling tasks
+    get a duplicate attempt and the first finished attempt wins.
 
 ``processes``
     Fork-based worker processes (POSIX only).  Workers are forked *per
     stage*, after upstream shuffles have materialized, so the children
     inherit the full lineage — closures never need to be pickled, only
-    each task's *result* travels back through a pipe.  Side effects on
-    driver-side objects (accumulators, ``JoinStats`` counters, RDD
-    caches) stay in the child and are lost, exactly like closure
-    mutation on a real Spark executor.
+    each task's *result* travels back through a pipe.  A worker that dies
+    mid-stage (chaos kill, user ``os._exit``, OOM) is detected through
+    the broken pipe and *respawned*: only the lost tasks re-run, up to
+    the policy's respawn budget, after which the stage raises
+    :class:`~repro.minispark.chaos.ExecutorBrokenError` so callers can
+    degrade to a simpler backend.  Speculative duplicates run driver-side
+    on a small thread pool (the parent owns the lineage too).
 
 Every backend runs the retry loop *inside* the worker
 (:func:`run_task_with_retries`), so per-attempt timing and the
 partial-output isolation invariant are identical across backends, and a
-flaky task retries on the same worker that saw it fail.
+flaky task retries on the same worker that saw it fail.  Retries honour
+the policy's error classification (transient vs. fatal) and seeded
+exponential backoff; chaos faults are injected at the attempt boundary
+inside the same loop.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Callable, Sequence
+
+from .chaos import (
+    CHAOS_KILL_EXIT_CODE,
+    ChaosError,
+    ExecutorBrokenError,
+    TaskPolicy,
+    WorkerLostError,
+    is_transient,
+)
 
 #: Names accepted by :func:`make_executor` / ``Context(executor=...)``.
 EXECUTOR_NAMES = ("serial", "threads", "processes")
@@ -51,35 +70,71 @@ class TaskOutcome:
     ``attempt_seconds`` has one entry per attempt (failed attempts
     included) — the scheduler appends them to ``StageMetrics.task_seconds``
     in partition order so metrics stay deterministic under concurrency.
+    The recovery fields record what it took to get the value: injected
+    chaos faults, seconds slept in retry backoff, whether a speculative
+    duplicate was launched / won, and how many worker respawns the task
+    caused on the processes backend.
     """
 
     value: object = None
     attempt_seconds: list = field(default_factory=list)
     failures: int = 0
     error: BaseException | None = None
+    backoff_seconds: float = 0.0
+    chaos_faults: int = 0
+    speculated: bool = False
+    speculative_win: bool = False
+    respawns: int = 0
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def run_task_with_retries(compute: Callable, retries: int) -> TaskOutcome:
-    """Execute one task with up to ``retries`` re-attempts, timing each.
+def run_task_with_retries(
+    compute: Callable,
+    retries,
+    index: int = 0,
+    attempt_base: int = 0,
+) -> TaskOutcome:
+    """Execute one task with retries, backoff, and chaos, timing each attempt.
 
-    Never raises: an exhausted task returns an outcome carrying its last
-    exception, which the scheduler re-raises in partition order.
+    ``retries`` is an ``int`` retry budget or a full
+    :class:`~repro.minispark.chaos.TaskPolicy`.  Never raises: an
+    exhausted task (or one failing with a fatal, non-retryable error)
+    returns an outcome carrying its last exception, which the scheduler
+    re-raises in partition order.  ``attempt_base`` offsets the attempt
+    numbers the chaos plan sees, so a speculative duplicate rolls
+    different faults than the primary.
     """
+    policy = TaskPolicy.of(retries)
     outcome = TaskOutcome()
-    for attempt in range(retries + 1):
+    for attempt in range(policy.retries + 1):
+        number = attempt_base + attempt
         start = perf_counter()
         try:
+            if policy.chaos is not None:
+                delay = policy.chaos.straggler_delay(policy.stage, index, number)
+                if delay > 0.0:
+                    sleep(delay)
+                if policy.chaos.transient_fault(policy.stage, index, number):
+                    raise ChaosError(
+                        f"injected transient fault (stage={policy.stage}, "
+                        f"task={index}, attempt={number})"
+                    )
             value = compute()
         except Exception as exc:
             outcome.attempt_seconds.append(perf_counter() - start)
             outcome.failures += 1
-            if attempt == retries:
+            if isinstance(exc, ChaosError):
+                outcome.chaos_faults += 1
+            if attempt == policy.retries or not is_transient(exc):
                 outcome.error = exc
                 return outcome
+            backoff = policy.retry.backoff_seconds(policy.stage, index, number)
+            if backoff > 0.0:
+                outcome.backoff_seconds += backoff
+                sleep(backoff)
         else:
             outcome.attempt_seconds.append(perf_counter() - start)
             outcome.value = value
@@ -95,11 +150,21 @@ def default_max_workers() -> int:
         return os.cpu_count() or 1
 
 
+def _completed_task_seconds(outcomes: Sequence) -> list:
+    """Durations of successful outcomes so far (speculation baseline)."""
+    return [
+        outcome.attempt_seconds[-1]
+        for outcome in outcomes
+        if outcome is not None and outcome.ok and outcome.attempt_seconds
+    ]
+
+
 class TaskExecutor:
     """Base class: runs an ordered list of task thunks.
 
     ``run_tasks`` returns one :class:`TaskOutcome` per task, *in task
-    order* regardless of completion order.
+    order* regardless of completion order.  ``retries`` accepts either an
+    ``int`` budget or a :class:`~repro.minispark.chaos.TaskPolicy`.
     """
 
     name = "base"
@@ -110,7 +175,7 @@ class TaskExecutor:
             raise ValueError(f"max_workers must be positive, got {workers}")
         self.max_workers = workers
 
-    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+    def run_tasks(self, tasks: Sequence[Callable], retries) -> list:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -125,10 +190,11 @@ class SerialExecutor(TaskExecutor):
     def __init__(self, max_workers: int | None = None):
         super().__init__(1)
 
-    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+    def run_tasks(self, tasks: Sequence[Callable], retries) -> list:
+        policy = TaskPolicy.of(retries)
         outcomes = []
-        for task in tasks:
-            outcome = run_task_with_retries(task, retries)
+        for index, task in enumerate(tasks):
+            outcome = run_task_with_retries(task, policy, index)
             outcomes.append(outcome)
             if not outcome.ok:
                 break  # later partitions never run, like the classic loop
@@ -140,18 +206,92 @@ class ThreadTaskExecutor(TaskExecutor):
 
     name = "threads"
 
-    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+    def run_tasks(self, tasks: Sequence[Callable], retries) -> list:
+        policy = TaskPolicy.of(retries)
         if len(tasks) <= 1:
-            return SerialExecutor().run_tasks(tasks, retries)
+            return SerialExecutor().run_tasks(tasks, policy)
+        if policy.speculation is not None:
+            return self._run_with_speculation(tasks, policy)
         with ThreadPoolExecutor(
             max_workers=min(self.max_workers, len(tasks)),
             thread_name_prefix="minispark-task",
         ) as pool:
             futures = [
-                pool.submit(run_task_with_retries, task, retries)
-                for task in tasks
+                pool.submit(run_task_with_retries, task, policy, index)
+                for index, task in enumerate(tasks)
             ]
             return [future.result() for future in futures]
+
+    def _run_with_speculation(self, tasks: Sequence[Callable], policy) -> list:
+        """First-finished-attempt-wins duplication of straggling tasks.
+
+        Tasks are deterministic, so the primary and its duplicate compute
+        the same value — which attempt wins only shows in the metrics.
+        A few reserve threads keep duplicates from queueing behind the
+        very stragglers they are meant to bypass.
+        """
+        spec = policy.speculation
+        n = len(tasks)
+        reserve = max(1, min(4, n // 2))
+        outcomes: list = [None] * n
+        started: dict = {}
+
+        def make_primary(index):
+            def run():
+                started[index] = perf_counter()
+                return run_task_with_retries(tasks[index], policy, index)
+
+            return run
+
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, n) + reserve,
+            thread_name_prefix="minispark-task",
+        ) as pool:
+            primary = {i: pool.submit(make_primary(i)) for i in range(n)}
+            copies: dict = {}
+            unresolved = set(range(n))
+            while unresolved:
+                active = [
+                    f
+                    for i in unresolved
+                    for f in (primary[i], copies.get(i))
+                    if f is not None and not f.done()
+                ]
+                if active:
+                    wait(active, timeout=spec.poll_seconds,
+                         return_when=FIRST_COMPLETED)
+                now = perf_counter()
+                completed = _completed_task_seconds(outcomes)
+                for i in sorted(unresolved):
+                    p = primary[i]
+                    c = copies.get(i)
+                    p_done = p.done()
+                    c_done = c is not None and c.done()
+                    chosen = None
+                    win = False
+                    if p_done and p.result().ok:
+                        chosen = p.result()
+                    elif c_done and c.result().ok:
+                        chosen, win = c.result(), True
+                    elif p_done and (c is None or c_done):
+                        chosen = p.result()  # both exhausted: primary error
+                    if chosen is not None:
+                        chosen.speculated = i in copies
+                        chosen.speculative_win = win
+                        outcomes[i] = chosen
+                        unresolved.discard(i)
+                        continue
+                    if (
+                        c is None
+                        and not p_done
+                        and i in started
+                        and now - started[i] > spec.threshold(completed)
+                    ):
+                        copies[i] = pool.submit(
+                            run_task_with_retries, tasks[i], policy, i,
+                            policy.speculative_attempt_base(),
+                        )
+        return outcomes
 
 
 class ProcessTaskExecutor(TaskExecutor):
@@ -162,9 +302,23 @@ class ProcessTaskExecutor(TaskExecutor):
     shuffle outputs in the parent — so children see the complete lineage
     state without any pickling of closures.  Only results (and
     exceptions) cross the pipe and therefore must be picklable.
+
+    Fault tolerance: a worker that dies before reporting all its tasks
+    (detected as EOF on its pipe) is respawned with exactly the lost
+    tasks, up to ``policy.max_worker_respawns`` per stage; past the
+    budget the stage raises
+    :class:`~repro.minispark.chaos.ExecutorBrokenError`.  Chaos worker
+    kills (``FaultPlan.kill_rate``) fire in the child at a task boundary,
+    keyed by how often that task already killed a worker, so recovery is
+    guaranteed to make progress.  Speculative duplicates of straggling
+    tasks run driver-side (the parent owns the lineage too); the first
+    finished attempt wins.
     """
 
     name = "processes"
+
+    #: Pipe poll timeout when speculation is off (just liveness checks).
+    _POLL_SECONDS = 0.2
 
     def __init__(self, max_workers: int | None = None):
         super().__init__(max_workers)
@@ -174,52 +328,189 @@ class ProcessTaskExecutor(TaskExecutor):
                 "(POSIX); use 'threads' or 'serial' on this platform"
             )
 
-    def run_tasks(self, tasks: Sequence[Callable], retries: int) -> list:
+    def run_tasks(self, tasks: Sequence[Callable], retries) -> list:
+        policy = TaskPolicy.of(retries)
         if len(tasks) <= 1 or self.max_workers == 1:
-            return SerialExecutor().run_tasks(tasks, retries)
+            return SerialExecutor().run_tasks(tasks, policy)
         ctx = multiprocessing.get_context("fork")
         num_workers = min(self.max_workers, len(tasks))
         outcomes: list = [None] * len(tasks)
-        workers = []
-        for worker_id in range(num_workers):
-            indices = list(range(worker_id, len(tasks), num_workers))
-            receiver, sender = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_forked_worker,
-                args=(sender, tasks, indices, retries),
-                daemon=True,
+        restarts = [0] * len(tasks)
+        budget = {
+            "left": policy.max_worker_respawns,
+            "respawns": dict.fromkeys(range(len(tasks)), 0),
+        }
+        spec_pool = None
+        if policy.speculation is not None:
+            spec_pool = ThreadPoolExecutor(
+                max_workers=max(2, num_workers // 2),
+                thread_name_prefix="minispark-spec",
             )
-            process.start()
-            sender.close()  # parent keeps only the read end
-            workers.append((process, receiver, indices))
-        for process, receiver, indices in workers:
-            received = 0
-            try:
-                while received < len(indices):
-                    index, outcome = receiver.recv()
-                    outcomes[index] = outcome
-                    received += 1
-            except EOFError:
-                pass  # worker died; unfilled slots handled below
-            finally:
-                receiver.close()
-                process.join()
-            for index in indices:
-                if outcomes[index] is None:
-                    outcomes[index] = TaskOutcome(
-                        error=RuntimeError(
-                            f"worker process for task {index} exited with "
-                            f"code {process.exitcode} before reporting"
-                        )
+        spawned: list = []
+        try:
+            workers = [
+                self._spawn(
+                    ctx, tasks,
+                    list(range(worker_id, len(tasks), num_workers)),
+                    policy, restarts, spawned,
+                )
+                for worker_id in range(num_workers)
+            ]
+            for process, receiver, indices in workers:
+                self._drain(
+                    ctx, process, receiver, indices, tasks, policy,
+                    outcomes, restarts, budget, spec_pool, spawned,
+                )
+        except BaseException:
+            for process in spawned:  # don't leak workers on a failed stage
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            if spec_pool is not None:
+                spec_pool.shutdown(wait=False, cancel_futures=True)
+        for index, count in budget["respawns"].items():
+            if count and outcomes[index] is not None:
+                outcomes[index].respawns += count
+        for index in range(len(tasks)):
+            if outcomes[index] is None:
+                outcomes[index] = TaskOutcome(
+                    error=WorkerLostError(
+                        f"worker process for task {index} exited before "
+                        "reporting and was not recovered"
                     )
+                )
         return outcomes
 
+    @staticmethod
+    def _spawn(ctx, tasks, indices, policy, restarts, spawned):
+        """Fork one worker for ``indices``; returns (process, pipe, indices)."""
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_forked_worker,
+            # restarts is snapshotted at fork time: the child only needs
+            # the kill history, never live updates.
+            args=(sender, tasks, indices, policy, list(restarts)),
+            daemon=True,
+        )
+        process.start()
+        sender.close()  # parent keeps only the read end
+        spawned.append(process)
+        return process, receiver, indices
 
-def _forked_worker(conn, tasks, indices, retries):
-    """Child body: run the assigned tasks, pipe each outcome back."""
+    def _drain(
+        self, ctx, process, receiver, indices, tasks, policy,
+        outcomes, restarts, budget, spec_pool, spawned,
+    ) -> None:
+        """Receive one worker's results, respawning it if it dies.
+
+        The worker sends ``(index, outcome)`` pairs in assignment order;
+        EOF before the last one means the process died.  Lost tasks are
+        re-run by a fresh fork (budget permitting); tasks whose results
+        already arrived are never recomputed.
+        """
+        spec = policy.speculation
+        poll_seconds = (
+            spec.poll_seconds if spec is not None else self._POLL_SECONDS
+        )
+        pending = list(indices)
+        copies: dict = {}
+        while True:  # one iteration per worker incarnation
+            queue = [i for i in pending if outcomes[i] is None]
+            pos = 0
+            current_start = perf_counter()
+            died = False
+            while pos < len(queue):
+                expected = queue[pos]
+                if outcomes[expected] is not None:
+                    pos += 1
+                    current_start = perf_counter()
+                    continue
+                copy = copies.get(expected)
+                if copy is not None and copy.done():
+                    outcome = copy.result()
+                    if outcome.ok:
+                        outcome.speculated = True
+                        outcome.speculative_win = True
+                        outcomes[expected] = outcome
+                        pos += 1
+                        current_start = perf_counter()
+                        continue
+                try:
+                    has_data = receiver.poll(poll_seconds)
+                except (EOFError, OSError):
+                    died = True
+                    has_data = False
+                if has_data:
+                    try:
+                        index, outcome = receiver.recv()
+                    except (EOFError, OSError):
+                        died = True
+                    else:
+                        if outcomes[index] is None:
+                            outcome.speculated = index in copies
+                            outcomes[index] = outcome
+                        if index == expected:
+                            pos += 1
+                            current_start = perf_counter()
+                        continue
+                if died:
+                    break
+                if not process.is_alive():
+                    if receiver.poll(0):  # flush what the pipe still holds
+                        continue
+                    died = True
+                    break
+                if (
+                    spec_pool is not None
+                    and expected not in copies
+                    and perf_counter() - current_start
+                    > spec.threshold(_completed_task_seconds(outcomes))
+                ):
+                    copies[expected] = spec_pool.submit(
+                        run_task_with_retries, tasks[expected], policy,
+                        expected, policy.speculative_attempt_base(),
+                    )
+            receiver.close()
+            process.join()
+            if not died:
+                return
+            lost = [i for i in pending if outcomes[i] is None]
+            if not lost:
+                return
+            victim = lost[0]  # death happens at (or in) the expected task
+            restarts[victim] += 1
+            if budget["left"] <= 0:
+                raise ExecutorBrokenError(
+                    f"worker process died (exit code {process.exitcode}) "
+                    f"while running task {victim} of stage "
+                    f"{policy.stage!r} and the respawn budget "
+                    f"({policy.max_worker_respawns}) is exhausted; the "
+                    "task may be killing its worker deterministically — "
+                    "try the 'threads' or 'serial' executor"
+                )
+            budget["left"] -= 1
+            budget["respawns"][victim] += 1
+            process, receiver, _ = self._spawn(
+                ctx, tasks, lost, policy, restarts, spawned
+            )
+            pending = lost
+
+
+def _forked_worker(conn, tasks, indices, policy, restarts):
+    """Child body: run the assigned tasks, pipe each outcome back.
+
+    Chaos worker kills fire here, at the task boundary, exactly as a real
+    executor JVM would vanish between tasks: the process exits hard, the
+    parent sees EOF and respawns.
+    """
     try:
         for index in indices:
-            outcome = run_task_with_retries(tasks[index], retries)
+            if policy.chaos is not None and policy.chaos.should_kill(
+                policy.stage, index, restarts[index]
+            ):
+                os._exit(CHAOS_KILL_EXIT_CODE)
+            outcome = run_task_with_retries(tasks[index], policy, index)
             try:
                 conn.send((index, outcome))
             except Exception as exc:  # unpicklable result or error

@@ -42,6 +42,13 @@ class StageMetrics:
     shuffle_bytes: int = 0
     task_failures: int = 0
     wall_seconds: float = 0.0
+    # --- recovery accounting (see repro.minispark.chaos) -------------
+    retries: int = 0  # failed attempts that were given another attempt
+    backoff_seconds: float = 0.0  # total seconds slept between attempts
+    chaos_faults: int = 0  # transient failures injected by a FaultPlan
+    speculative_launched: int = 0  # tasks that got a duplicate attempt
+    speculative_wins: int = 0  # duplicates that finished first
+    worker_respawns: int = 0  # dead workers respawned (processes backend)
 
     @property
     def num_tasks(self) -> int:
@@ -84,6 +91,7 @@ class JobMetrics:
     stages: list = field(default_factory=list)
     executor: str = "serial"
     max_workers: int = 1
+    stages_recomputed: int = 0  # lineage recoveries of lost/corrupt shuffles
 
     def new_stage(self, name: str) -> StageMetrics:
         stage = StageMetrics(name)
@@ -111,19 +119,53 @@ class JobMetrics:
     def num_tasks(self) -> int:
         return sum(s.num_tasks for s in self.stages)
 
+    @property
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.stages)
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(s.backoff_seconds for s in self.stages)
+
+    @property
+    def total_chaos_faults(self) -> int:
+        return sum(s.chaos_faults for s in self.stages)
+
+    @property
+    def total_speculative_launched(self) -> int:
+        return sum(s.speculative_launched for s in self.stages)
+
+    @property
+    def total_speculative_wins(self) -> int:
+        return sum(s.speculative_wins for s in self.stages)
+
+    @property
+    def total_worker_respawns(self) -> int:
+        return sum(s.worker_respawns for s in self.stages)
+
     def merge(self, other: "JobMetrics") -> None:
         """Append another job's stages (used to aggregate multi-job algorithms)."""
         self.stages.extend(other.stages)
+        self.stages_recomputed += other.stages_recomputed
 
 
 @dataclass
 class MetricsCollector:
-    """Accumulates the jobs a :class:`repro.minispark.context.Context` ran."""
+    """Accumulates the jobs a :class:`repro.minispark.context.Context` ran.
+
+    ``fallbacks`` records executor degradations (processes -> threads ->
+    serial) performed after a backend was marked broken; each entry is a
+    dict with ``from``, ``to``, and ``reason``.
+    """
 
     jobs: list = field(default_factory=list)
+    fallbacks: list = field(default_factory=list)
 
     def add(self, job: JobMetrics) -> None:
         self.jobs.append(job)
+
+    def record_fallback(self, old: str, new: str, reason: str) -> None:
+        self.fallbacks.append({"from": old, "to": new, "reason": reason})
 
     def combined(self, name: str = "all-jobs") -> JobMetrics:
         total = JobMetrics(name)
@@ -131,5 +173,27 @@ class MetricsCollector:
             total.merge(job)
         return total
 
+    def recovery_summary(self) -> dict:
+        """Every recovery event across all recorded jobs, as plain data.
+
+        This is what the bench harness stamps into ``BENCH_*.json`` and
+        what the chaos soak asserts on: a fault-free run is all zeros.
+        """
+        total = self.combined()
+        return {
+            "task_failures": sum(
+                s.task_failures for j in self.jobs for s in j.stages
+            ),
+            "retries": total.total_retries,
+            "backoff_seconds": total.total_backoff_seconds,
+            "chaos_faults": total.total_chaos_faults,
+            "speculative_launched": total.total_speculative_launched,
+            "speculative_wins": total.total_speculative_wins,
+            "worker_respawns": total.total_worker_respawns,
+            "stages_recomputed": total.stages_recomputed,
+            "executor_fallbacks": list(self.fallbacks),
+        }
+
     def reset(self) -> None:
         self.jobs.clear()
+        self.fallbacks.clear()

@@ -49,6 +49,13 @@ class ShuffleDependency(Dependency):
     map stage; ``records`` counts what crossed the (simulated) wire and
     ``bytes`` estimates its serialized size (sampled pickling, see
     :func:`repro.minispark.scheduler.estimate_shuffle_bytes`).
+
+    Materialized outputs are the analog of Spark's shuffle files, and
+    like shuffle files they can go missing (a chaos plan marks them
+    ``lost``) or rot (``checksum``, stamped by the scheduler at
+    materialization, no longer matches).  The scheduler revalidates
+    before reuse and recomputes the map stage from lineage when the check
+    fails — that recomputation is exactly what "resilient" means in RDD.
     """
 
     def __init__(self, parent: "RDD", partitioner: Partitioner, aggregator=None):
@@ -58,10 +65,25 @@ class ShuffleDependency(Dependency):
         self.outputs: list | None = None
         self.records = 0
         self.bytes = 0
+        self.checksum: int | None = None
+        self.lost = False
+        self.loss_epoch = 0  # chaos shuffle-loss injections so far
 
     @property
     def materialized(self) -> bool:
         return self.outputs is not None
+
+    def mark_lost(self) -> None:
+        """Flag the materialized outputs as gone (executor loss analog)."""
+        self.lost = True
+
+    def invalidate(self) -> None:
+        """Drop the materialized state so the scheduler recomputes it."""
+        self.outputs = None
+        self.checksum = None
+        self.lost = False
+        self.records = 0
+        self.bytes = 0
 
 
 class RDD:
@@ -581,7 +603,13 @@ class ShuffledRDD(RDD):
             if key in merged:
                 merged[key] = merge_combiners(merged[key], combiner)
             else:
-                merged[key] = combiner
+                # Copy container combiners before they become merge
+                # accumulators: merge_combiners may mutate its left
+                # argument (group_by_key extends lists in place), and the
+                # stored record must survive unchanged so recomputing this
+                # partition — and validating the shuffle's checksum —
+                # stays exact.
+                merged[key] = _copy_zero(combiner)
         return iter(merged.items())
 
 

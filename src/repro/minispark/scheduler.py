@@ -11,26 +11,43 @@ RDD's own partitions.
 
 A stage's partition tasks are submitted together to the context's
 :class:`~repro.minispark.executors.TaskExecutor` (serial, threads, or
-forked processes — ``Context(executor=...)``).  Results, metrics, and
-shuffle bucket merges are always processed in partition order, so every
-backend produces identical outputs and deterministic metrics; stages still
-synchronize at shuffles, exactly as on Spark.
+forked processes — ``Context(executor=...)``), wrapped in a
+:class:`~repro.minispark.chaos.TaskPolicy` carrying the retry budget,
+seeded backoff, chaos plan, and speculation settings.  Results, metrics,
+and shuffle bucket merges are always processed in partition order, so
+every backend — including one that retried, speculated, or respawned
+workers along the way — produces identical outputs and deterministic
+metrics; stages still synchronize at shuffles, exactly as on Spark.
+
+Fault tolerance of materialized shuffles: each shuffle's outputs are
+checksummed at materialization (stride-sampled, like the byte estimate).
+Before an already-materialized shuffle is reused by a later job, the
+scheduler revalidates it; outputs that were marked lost (chaos, explicit
+``mark_lost()``) or whose checksum no longer matches are recomputed from
+lineage — the job records a ``stages_recomputed`` event instead of
+failing.  This is the RDD recovery story of the paper's Spark deployment,
+reproduced end to end.
 
 Every task attempt is timed with ``perf_counter``; the durations, record
-counts, shuffle volumes, and each stage's wall-clock time land in a
-:class:`~repro.minispark.metrics.JobMetrics` that the cluster cost model
-replays to estimate multi-node wall time.  Shuffle outputs are memoized on
-the dependency (like Spark's shuffle files), so iterative algorithms that
-reuse an upstream RDD do not pay for the exchange twice.
+counts, shuffle volumes, recovery events, and each stage's wall-clock time
+land in a :class:`~repro.minispark.metrics.JobMetrics` that the cluster
+cost model replays to estimate multi-node wall time.
 """
 
 from __future__ import annotations
 
 import pickle
+import zlib
 from time import perf_counter
 
+from .chaos import TaskPolicy
 from .metrics import JobMetrics, StageMetrics
 from .rdd import RDD, ShuffleDependency
+
+#: Errors that mean "this record cannot be pickled", which is bookkeeping
+#: noise for the size estimate — anything else (KeyboardInterrupt,
+#: programming errors inside __reduce__) must surface.
+_UNPICKLABLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 
 def estimate_shuffle_bytes(outputs: list, sample: int) -> int:
@@ -61,12 +78,38 @@ def estimate_shuffle_bytes(outputs: list, sample: int) -> int:
                 measured_bytes += len(
                     pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
                 )
-            except Exception:
+            except _UNPICKLABLE_ERRORS:
                 continue
             measured += 1
     if measured == 0:
         return 0
     return round(total_records * (measured_bytes / measured))
+
+
+def shuffle_checksum(outputs: list, sample: int) -> int:
+    """Integrity fingerprint of a shuffle's materialized buckets.
+
+    CRC32 over every bucket's length plus stride-sampled pickled records
+    (the same sampling pattern as :func:`estimate_shuffle_bytes`), so
+    validation cost matches materialization bookkeeping cost.  Detects
+    lost buckets, truncation, and corruption of any sampled record;
+    ``sample <= 0`` degrades to the length-only fingerprint.
+    """
+    crc = zlib.crc32(repr([len(bucket) for bucket in outputs]).encode())
+    if sample <= 0:
+        return crc
+    for bucket in outputs:
+        size = len(bucket)
+        if size == 0:
+            continue
+        stride = max(1, -(-size // sample))
+        for index in range(0, size, stride):
+            try:
+                data = pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
+            except _UNPICKLABLE_ERRORS:
+                continue
+            crc = zlib.crc32(data, crc)
+    return crc
 
 
 class Scheduler:
@@ -83,21 +126,45 @@ class Scheduler:
     def __init__(self, context):
         self.context = context
 
+    def _task_policy(self, stage_name: str) -> TaskPolicy:
+        """Bundle the context's resilience settings for one stage."""
+        ctx = self.context
+        return TaskPolicy(
+            retries=ctx.task_retries,
+            retry=ctx.retry_policy,
+            chaos=ctx.chaos,
+            speculation=ctx.speculation,
+            stage=stage_name,
+            max_worker_respawns=ctx.max_worker_respawns,
+        )
+
     def _run_stage(self, stage: StageMetrics, tasks: list) -> list:
         """Run a stage's tasks on the executor; return values in task order.
 
         Metrics are merged in partition order (attempt durations, failure
-        counts), the stage's wall-clock duration is recorded, and the
-        first failed task's exception — again in partition order — is
-        re-raised, matching the serial scheduler's error surface.
+        counts, recovery events), the stage's wall-clock duration is
+        recorded, and the first failed task's exception — again in
+        partition order — is re-raised, matching the serial scheduler's
+        error surface.
         """
         executor = self.context.executor
+        policy = self._task_policy(stage.name)
         start = perf_counter()
-        outcomes = executor.run_tasks(tasks, self.context.task_retries)
-        stage.wall_seconds += perf_counter() - start
+        try:
+            outcomes = executor.run_tasks(tasks, policy)
+        finally:
+            stage.wall_seconds += perf_counter() - start
         for outcome in outcomes:
             stage.task_seconds.extend(outcome.attempt_seconds)
             stage.task_failures += outcome.failures
+            stage.retries += (
+                outcome.failures if outcome.ok else outcome.failures - 1
+            )
+            stage.backoff_seconds += outcome.backoff_seconds
+            stage.chaos_faults += outcome.chaos_faults
+            stage.speculative_launched += 1 if outcome.speculated else 0
+            stage.speculative_wins += 1 if outcome.speculative_win else 0
+            stage.worker_respawns += outcome.respawns
         for outcome in outcomes:
             if not outcome.ok:
                 raise outcome.error
@@ -124,15 +191,47 @@ class Scheduler:
     # ------------------------------------------------------------ internals
 
     def _materialize_shuffles(self, rdd: RDD, job: JobMetrics, seen: set) -> None:
-        """Depth-first: parents' shuffles first, then this level's."""
+        """Depth-first: parents' shuffles first, then this level's.
+
+        Already-materialized shuffles are revalidated before reuse: a
+        chaos plan may declare them lost, and a checksum mismatch means
+        the outputs rotted in place.  Either way the dependency is
+        invalidated and its map stage recomputed from lineage — the job
+        keeps going where a cache-trusting scheduler would fail.
+        """
         if rdd.rdd_id in seen:
             return
         seen.add(rdd.rdd_id)
         for dep in rdd.dependencies:
             self._materialize_shuffles(dep.parent, job, seen)
         for dep in rdd.dependencies:
-            if isinstance(dep, ShuffleDependency) and not dep.materialized:
+            if not isinstance(dep, ShuffleDependency):
+                continue
+            if dep.materialized:
+                self._inject_shuffle_loss(dep)
+                if not self._shuffle_valid(dep):
+                    dep.invalidate()
+                    job.stages_recomputed += 1
+            if not dep.materialized:
                 self._run_map_stage(dep, job)
+
+    def _inject_shuffle_loss(self, dep: ShuffleDependency) -> None:
+        chaos = self.context.chaos
+        if chaos is None or dep.lost:
+            return
+        if chaos.shuffle_lost(f"rdd{dep.parent.rdd_id}", dep.loss_epoch):
+            dep.loss_epoch += 1
+            dep.mark_lost()
+
+    def _shuffle_valid(self, dep: ShuffleDependency) -> bool:
+        if dep.lost:
+            return False
+        if dep.checksum is None:
+            return True  # pre-checksum materialization (tests, manual deps)
+        return (
+            shuffle_checksum(dep.outputs, self.context.shuffle_byte_sample)
+            == dep.checksum
+        )
 
     def _run_map_stage(self, dep: ShuffleDependency, job: JobMetrics) -> None:
         parent = dep.parent
@@ -177,6 +276,10 @@ class Scheduler:
         dep.outputs = outputs
         dep.records = stage.shuffle_records
         dep.bytes = stage.shuffle_bytes
+        dep.lost = False
+        dep.checksum = shuffle_checksum(
+            outputs, self.context.shuffle_byte_sample
+        )
 
     @staticmethod
     def _bucket_raw(parent: RDD, index: int, partitioner, outputs: list) -> int:

@@ -1,0 +1,236 @@
+"""Unit tests of the chaos/recovery machinery.
+
+Covers the seeded decision functions (determinism, the completability
+cap), retry classification and backoff bounds, the retry loop itself,
+speculation wins on both parallel backends, and lineage-based recovery
+of lost or corrupted shuffle outputs.
+"""
+
+import pytest
+
+from repro.minispark import Context
+from repro.minispark.chaos import (
+    ChaosError,
+    FaultPlan,
+    RetryPolicy,
+    SpeculationPolicy,
+    TaskPolicy,
+    WorkerLostError,
+    is_transient,
+)
+from repro.minispark.executors import run_task_with_retries
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        a = FaultPlan(seed=7, transient_rate=0.5)
+        b = FaultPlan(seed=7, transient_rate=0.5)
+        rolls = [a.transient_fault("s", i, 0) for i in range(64)]
+        assert rolls == [b.transient_fault("s", i, 0) for i in range(64)]
+        assert any(rolls) and not all(rolls)  # the rate actually bites
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1, transient_rate=0.5)
+        b = FaultPlan(seed=2, transient_rate=0.5)
+        assert [a.transient_fault("s", i, 0) for i in range(64)] != [
+            b.transient_fault("s", i, 0) for i in range(64)
+        ]
+
+    def test_max_faults_cap_guarantees_a_clean_attempt(self):
+        plan = FaultPlan(seed=0, transient_rate=1.0, straggler_rate=1.0,
+                         kill_rate=1.0, max_faults_per_task=2)
+        assert plan.transient_fault("s", 0, 0)
+        assert plan.transient_fault("s", 0, 1)
+        assert not plan.transient_fault("s", 0, 2)
+        assert plan.straggler_delay("s", 0, 2) == 0.0
+        assert not plan.should_kill("s", 0, 2)
+
+    def test_shuffle_loss_fires_at_most_once_per_dep(self):
+        plan = FaultPlan(seed=0, shuffle_loss_rate=1.0)
+        assert plan.shuffle_lost("rdd1", 0)
+        assert not plan.shuffle_lost("rdd1", 1)
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(max_faults_per_task=-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base_seconds=0.01, backoff_factor=2.0,
+                             backoff_max_seconds=0.04, jitter=0.0)
+        waits = [policy.backoff_seconds("s", 0, a) for a in range(5)]
+        assert waits == [0.01, 0.02, 0.04, 0.04, 0.04]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base_seconds=0.01, jitter=0.5, seed=3)
+        waits = [policy.backoff_seconds("s", i, 1) for i in range(32)]
+        assert waits == [policy.backoff_seconds("s", i, 1) for i in range(32)]
+        assert all(0.01 <= wait <= 0.02 for wait in waits)
+        assert len(set(waits)) > 1  # jitter decorrelates tasks
+
+    def test_zero_base_disables_waiting(self):
+        policy = RetryPolicy(backoff_base_seconds=0.0)
+        assert policy.backoff_seconds("s", 0, 3) == 0.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestErrorClassification:
+    def test_transient_errors_are_retryable(self):
+        for exc in (ChaosError("x"), WorkerLostError("x"),
+                    RuntimeError("x"), ValueError("x"), KeyError("x"),
+                    OSError("x"), ZeroDivisionError()):
+            assert is_transient(exc), exc
+
+    def test_programming_errors_fail_fast(self):
+        for exc in (TypeError("x"), AttributeError("x"), NameError("x"),
+                    NotImplementedError("x"), RecursionError("x")):
+            assert not is_transient(exc), exc
+
+    def test_base_exceptions_are_never_retried(self):
+        assert not is_transient(KeyboardInterrupt())
+
+
+class TestTaskPolicy:
+    def test_of_normalizes_int_and_passes_policies_through(self):
+        assert TaskPolicy.of(3).retries == 3
+        policy = TaskPolicy(retries=1)
+        assert TaskPolicy.of(policy) is policy
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            TaskPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            TaskPolicy(max_worker_respawns=-1)
+
+    def test_speculative_attempts_use_a_disjoint_range(self):
+        assert TaskPolicy(retries=2).speculative_attempt_base() == 3
+
+
+class TestRunTaskWithRetries:
+    def test_chaos_faults_consume_retries_then_succeed(self):
+        chaos = FaultPlan(seed=0, transient_rate=1.0, max_faults_per_task=2)
+        policy = TaskPolicy(
+            retries=2, chaos=chaos,
+            retry=RetryPolicy(backoff_base_seconds=0.0001, jitter=0.0),
+        )
+        outcome = run_task_with_retries(lambda: 42, policy, index=0)
+        assert outcome.ok and outcome.value == 42
+        assert outcome.chaos_faults == 2 and outcome.failures == 2
+        assert outcome.backoff_seconds > 0.0
+        assert len(outcome.attempt_seconds) == 3
+
+    def test_fatal_error_fails_without_burning_the_budget(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise TypeError("programming error")
+
+        outcome = run_task_with_retries(bad, 5)
+        assert not outcome.ok and isinstance(outcome.error, TypeError)
+        assert len(calls) == 1
+
+    def test_transient_error_retries_until_exhausted(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise RuntimeError("flaky")
+
+        policy = TaskPolicy(retries=2,
+                            retry=RetryPolicy(backoff_base_seconds=0.0))
+        outcome = run_task_with_retries(flaky, policy)
+        assert not outcome.ok and len(calls) == 3
+        assert outcome.failures == 3
+
+
+class TestSpeculation:
+    def _chaotic_context(self, executor):
+        # Every primary attempt straggles 0.4s; the cap puts speculative
+        # attempt numbers (retries + 1 = 1) past it, so duplicates run
+        # clean and win.
+        chaos = FaultPlan(seed=0, straggler_rate=1.0, straggler_seconds=0.4,
+                          max_faults_per_task=1)
+        spec = SpeculationPolicy(multiplier=1.0, min_seconds=0.02,
+                                 poll_seconds=0.005)
+        return Context(default_parallelism=4, executor=executor,
+                       max_workers=4, chaos=chaos, speculation=spec)
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_straggler_duplicate_wins(self, executor):
+        ctx = self._chaotic_context(executor)
+        result = ctx.parallelize(range(8), 4).map(lambda x: x * 2).collect()
+        assert sorted(result) == [x * 2 for x in range(8)]
+        job = ctx.metrics.jobs[-1]
+        assert job.total_speculative_launched >= 1
+        assert job.total_speculative_wins >= 1
+
+    def test_speculation_threshold_uses_median(self):
+        spec = SpeculationPolicy(multiplier=2.0, min_seconds=0.0)
+        assert spec.threshold([]) == 0.0
+        assert spec.threshold([1.0, 100.0, 2.0]) == 4.0
+
+
+class TestLineageRecovery:
+    @staticmethod
+    def _grouped(ctx):
+        pairs = ctx.parallelize(range(30), 4).map(lambda x: (x % 5, x))
+        return pairs.group_by_key()
+
+    @staticmethod
+    def _normalized(records):
+        return sorted((key, sorted(values)) for key, values in records)
+
+    def test_double_collect_does_not_mutate_shuffle_outputs(self, ctx):
+        grouped = self._grouped(ctx)
+        first = self._normalized(grouped.collect())
+        second = self._normalized(grouped.collect())
+        assert first == second
+        # And revalidation saw intact outputs: nothing was recomputed.
+        assert all(j.stages_recomputed == 0 for j in ctx.metrics.jobs)
+
+    def test_marked_lost_shuffle_recomputes_from_lineage(self, ctx):
+        grouped = self._grouped(ctx)
+        expected = self._normalized(grouped.collect())
+        dep = grouped.dependencies[0]
+        assert dep.materialized
+        dep.mark_lost()
+        assert self._normalized(grouped.collect()) == expected
+        assert ctx.metrics.jobs[-1].stages_recomputed == 1
+
+    def test_corrupted_outputs_detected_and_recomputed(self, ctx):
+        grouped = self._grouped(ctx)
+        expected = self._normalized(grouped.collect())
+        dep = grouped.dependencies[0]
+        next(bucket for bucket in dep.outputs if bucket).pop()  # data rot
+        assert self._normalized(grouped.collect()) == expected
+        assert ctx.metrics.jobs[-1].stages_recomputed == 1
+
+    def test_chaos_shuffle_loss_recovers_transparently(self):
+        def run(ctx):
+            grouped = (
+                ctx.parallelize(range(40), 4)
+                .map(lambda x: (x % 7, x))
+                .group_by_key()
+            )
+            grouped.collect()  # materialize
+            return self._normalized(grouped.collect())  # revisit + inject
+
+        plain = Context(default_parallelism=4)
+        chaotic = Context(default_parallelism=4,
+                          chaos=FaultPlan(seed=0, shuffle_loss_rate=1.0))
+        assert run(chaotic) == run(plain)
+        assert sum(j.stages_recomputed for j in chaotic.metrics.jobs) >= 1
+        assert chaotic.metrics.recovery_summary()["stages_recomputed"] >= 1

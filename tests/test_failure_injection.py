@@ -1,8 +1,11 @@
 """Failure propagation and guard rails: errors must never pass silently."""
 
+import os
+
 import pytest
 
 from repro.minispark import Context, HashPartitioner
+from repro.minispark.chaos import ExecutorBrokenError, FaultPlan
 from repro.minispark.rdd import ShuffledRDD
 
 
@@ -61,6 +64,79 @@ class TestGuardRails:
     def test_context_rejects_bad_parallelism(self):
         with pytest.raises(ValueError):
             Context(default_parallelism=0)
+
+
+class TestWorkerDeath:
+    """Hard worker death on the processes backend must be survivable.
+
+    ``os._exit`` in a task bypasses every Python-level error path: the
+    parent only sees EOF on the worker's pipe.  Transient deaths are
+    recovered by respawning the worker with exactly the lost tasks;
+    deterministic deaths exhaust the respawn budget and surface an
+    actionable error instead of a bare ``EOFError``.
+    """
+
+    def test_deterministic_os_exit_surfaces_actionable_error(self):
+        ctx = Context(default_parallelism=4, executor="processes",
+                      max_workers=2, max_worker_respawns=1)
+
+        def killer(x):
+            if x == 3:
+                os._exit(1)
+            return x
+
+        rdd = ctx.parallelize(range(8), 4).map(killer)
+        with pytest.raises(ExecutorBrokenError, match="respawn budget"):
+            rdd.collect()
+
+    def test_broken_executor_error_names_a_way_out(self):
+        ctx = Context(default_parallelism=2, executor="processes",
+                      max_workers=2, max_worker_respawns=0)
+        rdd = ctx.parallelize(range(4), 2).map(lambda x: os._exit(1))
+        with pytest.raises(ExecutorBrokenError,
+                           match="'threads' or 'serial'"):
+            rdd.collect()
+
+    def test_transient_worker_death_recovers(self, tmp_path):
+        marker = tmp_path / "died-once"
+        ctx = Context(default_parallelism=4, executor="processes",
+                      max_workers=2)
+
+        def fragile(x):
+            if x == 3 and not marker.exists():
+                marker.write_text("x")
+                os._exit(1)
+            return x * 10
+
+        result = ctx.parallelize(range(8), 4).map(fragile).collect()
+        assert sorted(result) == [x * 10 for x in range(8)]
+        job = ctx.metrics.jobs[-1]
+        assert job.total_worker_respawns >= 1
+
+    def test_similarity_join_degrades_when_backend_keeps_dying(
+        self, small_dblp
+    ):
+        from repro import similarity_join
+
+        chaos = FaultPlan(seed=1, kill_rate=1.0, max_faults_per_task=99)
+        ctx = Context(default_parallelism=4, executor="processes",
+                      max_workers=2, chaos=chaos, max_worker_respawns=1)
+        baseline = similarity_join(small_dblp, 0.2, algorithm="vj")
+        result = similarity_join(small_dblp, 0.2, algorithm="vj", ctx=ctx)
+        assert sorted(result.pairs) == sorted(baseline.pairs)
+        assert ctx.executor.name == "threads"  # kills only hit processes
+        assert ctx.metrics.fallbacks
+        assert ctx.metrics.fallbacks[0]["from"] == "processes"
+
+    def test_degradation_can_be_disabled(self, small_dblp):
+        from repro import similarity_join
+
+        chaos = FaultPlan(seed=1, kill_rate=1.0, max_faults_per_task=99)
+        ctx = Context(default_parallelism=4, executor="processes",
+                      max_workers=2, chaos=chaos, max_worker_respawns=0)
+        with pytest.raises(ExecutorBrokenError):
+            similarity_join(small_dblp, 0.2, algorithm="vj", ctx=ctx,
+                            degrade_on_failure=False)
 
 
 class TestJoinInputValidation:
