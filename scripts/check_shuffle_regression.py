@@ -10,6 +10,11 @@ either total exceeds its baseline by more than 10% — the margin absorbs
 pickle-size drift between Python versions while still catching a
 reintroduced deduplication shuffle or token-payload bloat.
 
+Each run is traced, and the per-algorithm stage count from the trace
+digest is compared *exactly*: a changed stage count means the execution
+plan itself changed (an extra shuffle, a dropped phase), which must be a
+deliberate, baseline-updating decision rather than drift.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_shuffle_regression.py           # compare
@@ -44,7 +49,10 @@ def measure() -> dict:
     dataset = make_dataset("dblp", size_factor=0.3, seed=0)
     totals: dict = {}
     for name, join in (("vj", vj_join), ("cl", cl_join)):
-        ctx = Context(default_parallelism=NUM_PARTITIONS, executor="serial")
+        ctx = Context(
+            default_parallelism=NUM_PARTITIONS, executor="serial",
+            tracer=True,
+        )
         join(
             ctx,
             dataset,
@@ -53,9 +61,11 @@ def measure() -> dict:
             token_format="compact",
         )
         combined = ctx.metrics.combined()
+        digest = ctx.tracer.digest()
         totals[name] = {
             "shuffle_records": combined.total_shuffle_records,
             "shuffle_bytes": combined.total_shuffle_bytes,
+            "num_stages": digest["num_stages"],
         }
     return totals
 
@@ -95,10 +105,24 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     for name, totals in current.items():
         for metric, value in totals.items():
-            allowed = baseline[name][metric] * (1 + TOLERANCE)
+            expected = baseline[name].get(metric)
+            if expected is None:
+                continue  # pre-tracing baseline without stage counts
+            if metric == "num_stages":
+                # Stage counts come from the trace digest and must match
+                # exactly: a different count is a changed execution plan.
+                status = "ok" if value == expected else "FAIL"
+                print(
+                    f"{name:3s} {metric:15s} baseline={expected:>9} "
+                    f"current={value:>9} exact match    {status}"
+                )
+                if value != expected:
+                    failures.append(f"{name}.{metric}")
+                continue
+            allowed = expected * (1 + TOLERANCE)
             status = "ok" if value <= allowed else "FAIL"
             print(
-                f"{name:3s} {metric:15s} baseline={baseline[name][metric]:>9} "
+                f"{name:3s} {metric:15s} baseline={expected:>9} "
                 f"current={value:>9} allowed<={allowed:>11.0f} {status}"
             )
             if value > allowed:

@@ -62,6 +62,9 @@ class RunConfig:
     task_retries: int = 0
     chaos: FaultPlan | None = None
     speculation: SpeculationPolicy | None = None
+    #: Benchmarks are self-profiling by default: the run's trace digest
+    #: (stage counts, phases, skew) is stamped into the record.
+    trace: bool = True
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.workload}/theta={self.theta}"
@@ -80,6 +83,7 @@ class RunRecord:
     shuffle_records: int = 0
     shuffle_bytes: int = 0
     recovery: dict = field(default_factory=dict)
+    trace_digest: dict = field(default_factory=dict)
     dnf: bool = False
 
     def simulated_on(self, cluster: str) -> float:
@@ -109,6 +113,7 @@ def run(
         task_retries=config.task_retries,
         chaos=config.chaos,
         speculation=config.speculation,
+        tracer=config.trace,
     )
     if ctx.executor.name == "processes":
         for ranking in dataset.rankings:
@@ -132,6 +137,9 @@ def run(
         shuffle_records=combined.total_shuffle_records,
         shuffle_bytes=combined.total_shuffle_bytes,
         recovery=ctx.metrics.recovery_summary(),
+        trace_digest=(
+            ctx.tracer.digest() if ctx.tracer is not None else {}
+        ),
     )
 
 

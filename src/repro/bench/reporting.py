@@ -100,6 +100,7 @@ def record_payload(record) -> dict:
         "chaos_seed": config.chaos.seed if getattr(config, "chaos", None)
         else None,
         "recovery": dict(getattr(record, "recovery", {}) or {}),
+        "trace_digest": dict(getattr(record, "trace_digest", {}) or {}),
         "phase_seconds": dict(record.phase_seconds),
         "dnf": record.dnf,
     }

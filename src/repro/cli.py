@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--speculation", action="store_true",
                       help="duplicate straggling tasks on parallel "
                       "backends (first finished attempt wins)")
+    join.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write a Chrome trace_event JSON profile of "
+                      "the run (open in chrome://tracing or "
+                      "ui.perfetto.dev)")
+    join.add_argument("--trace-summary", action="store_true",
+                      help="print a profiling summary to stderr: top "
+                      "stages by wall time, skew ratios, shuffle bytes")
     join.add_argument("-o", "--output", default=None,
                       help="write pairs here instead of stdout")
 
@@ -139,6 +146,7 @@ def _cmd_join(args) -> int:
         executor=args.executor, max_workers=args.max_workers,
         task_retries=args.task_retries, chaos=chaos,
         speculation=SpeculationPolicy() if args.speculation else None,
+        tracer=True if (args.trace_out or args.trace_summary) else None,
     )
     result = similarity_join(
         dataset, args.theta, algorithm=args.algorithm, ctx=ctx,
@@ -172,6 +180,12 @@ def _cmd_join(args) -> int:
             f"fallbacks {recovery['executor_fallbacks']}",
             file=sys.stderr,
         )
+    if ctx.tracer is not None:
+        if args.trace_out:
+            ctx.tracer.write_chrome_trace(args.trace_out)
+            print(f"# trace written to {args.trace_out}", file=sys.stderr)
+        if args.trace_summary:
+            print(ctx.tracer.summary(), file=sys.stderr)
     return 0
 
 

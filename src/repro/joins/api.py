@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from ..minispark.chaos import ExecutorBrokenError, FaultPlan, SpeculationPolicy
 from ..minispark.context import Context
+from ..minispark.tracing import Tracer
 from ..rankings.dataset import RankingDataset
 from .bruteforce import bruteforce_join
 from .clustered import cl_join
@@ -57,6 +58,7 @@ def similarity_join(
     task_retries: int | None = None,
     chaos: FaultPlan | None = None,
     speculation: SpeculationPolicy | None = None,
+    trace: Tracer | bool | None = None,
     degrade_on_failure: bool = True,
     **options,
 ) -> JoinResult:
@@ -100,6 +102,13 @@ def similarity_join(
         :class:`~repro.minispark.chaos.SpeculationPolicy` for the
         auto-created context (duplicate straggling tasks,
         first-finished-attempt wins).  Only valid without ``ctx``.
+    trace:
+        Structured tracing for the auto-created context: a
+        :class:`~repro.minispark.tracing.Tracer`, ``True`` for a fresh
+        one (read it back from ``result``'s context via
+        ``ctx.tracer``), or ``None`` to consult the ``REPRO_TRACE``
+        environment variable.  Only valid without ``ctx`` — pass
+        ``Context(tracer=...)`` to combine the two.
     degrade_on_failure:
         When a backend is marked broken
         (:class:`~repro.minispark.chaos.ExecutorBrokenError`: workers
@@ -123,7 +132,8 @@ def similarity_join(
     if ctx is not None:
         for name, value in (("executor", executor),
                             ("task_retries", task_retries),
-                            ("chaos", chaos), ("speculation", speculation)):
+                            ("chaos", chaos), ("speculation", speculation),
+                            ("trace", trace)):
             if value is not None:
                 raise ValueError(
                     f"pass either ctx or {name}, not both — build the "
@@ -146,6 +156,7 @@ def similarity_join(
         task_retries=task_retries or 0,
         chaos=chaos,
         speculation=speculation,
+        tracer=trace,
     )
     if ctx.executor.name == "processes":
         # Build each ranking's item -> rank table up front: the tables are

@@ -45,9 +45,9 @@ and correct on all non-adversarial data we generated.
 from __future__ import annotations
 
 from functools import partial
-from time import perf_counter
 
 from ..minispark.context import Context
+from ..minispark.tracing import phase_scope
 from ..rankings.bounds import (
     admits_disjoint_pairs,
     overlap_prefix_size,
@@ -125,122 +125,122 @@ def cl_join(
     phase_seconds: dict = {}
 
     # ------------------------------------------------------ Phase 1: order
-    start = perf_counter()
-    rdd = ctx.parallelize(dataset.rankings, num_partitions)
-    ordered = order_rankings_rdd(ctx, rdd).cache()
-    by_id = ordered.key_by(lambda o: o.rid).cache()
-    by_id.count()
-    phase_seconds["ordering"] = perf_counter() - start
+    with phase_scope(ctx, "ordering", phase_seconds):
+        rdd = ctx.parallelize(dataset.rankings, num_partitions)
+        ordered = order_rankings_rdd(ctx, rdd).cache()
+        by_id = ordered.key_by(lambda o: o.rid).cache()
+        by_id.count()
 
     # -------------------------------------------------- Phase 2: cluster
-    start = perf_counter()
-    cluster_pairs = _cluster_pairs(
-        ctx, ordered, theta_c_raw, k, num_partitions, variant,
-        use_position_filter, stats,
-    ).cache()
-    clusters = _build_clusters(cluster_pairs, by_id, num_partitions).cache()
-    singletons = _find_singletons(
-        cluster_pairs, by_id, num_partitions
-    ).cache()
-    stats.clusters = clusters.count()
-    stats.singletons = singletons.count()
-    stats.cluster_members = cluster_pairs.count()
-    member_member = clusters.flat_map(
-        lambda kv: _same_cluster_pairs(
-            kv[1][1], theta_raw, theta_c_raw, stats
-        )
-    )
-    phase_seconds["clustering"] = perf_counter() - start
-
-    # ----------------------------------------------------- Phase 3: join
-    start = perf_counter()
-    p_m = overlap_prefix_size(theta_o_raw, k)
-    if singleton_prefix == "safe":
-        p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
-    else:
-        p_s = overlap_prefix_size(theta_raw, k)
-
-    centroids = clusters.map(lambda kv: (kv[1][0], False)).union(
-        singletons.map(lambda kv: (kv[1], True))
-    )
-
-    def emit_tokens(tagged):
-        centroid, is_singleton = tagged
-        prefix = p_s if is_singleton else p_m
-        return (
-            (item, (centroid, is_singleton))
-            for item, _rank in centroid.prefix(prefix)
-        )
-
-    joined = grouped_join(
-        ctx,
-        centroids.flat_map(emit_tokens),
-        num_partitions,
-        _typed_kernel(
-            variant, p_m, p_s, theta_raw, theta_c_raw, stats,
-            use_position_filter,
-        ),
-        rs_kernel=_typed_rs_kernel(
-            theta_raw, theta_c_raw, stats, use_position_filter
-        ),
-        partition_threshold=partition_threshold,
-        stats=stats,
-        seed=seed,
-    )
-    r_join = distinct_pairs(joined, num_partitions).cache()
-    r_join.count()
-    phase_seconds["joining"] = perf_counter() - start
-
-    # ------------------------------------------------- Phase 4: expansion
-    start = perf_counter()
-    r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][3]).map(
-        lambda kv: (kv[0], kv[1][0])
-    )
-    r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][3])).cache()
-    r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
-        lambda kv: (kv[0], kv[1][0])
-    )
-
-    def direct_sides(kv):
-        (rid_i, rid_j), (d, singleton_i, other_i, singleton_j, other_j) = kv
-        if not singleton_i:
-            yield (rid_i, (other_j, d))
-        if not singleton_j:
-            yield (rid_j, (other_i, d))
-
-    r_m_directed = r_m.flat_map(direct_sides)
-    member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
-        lambda kv: _expand_member_centroid(
-            kv[1][0][1], kv[1][1], theta_raw, stats, triangle_accept
-        )
-    )
-
-    both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][3])
-    first_hop = (
-        both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
-        .join(clusters, num_partitions)
-        .flat_map(
-            lambda kv: (
-                (kv[1][0][0], (member, dist, kv[1][0][1]))
-                for member, dist in kv[1][1][1]
+    with phase_scope(ctx, "clustering", phase_seconds):
+        cluster_pairs = _cluster_pairs(
+            ctx, ordered, theta_c_raw, k, num_partitions, variant,
+            use_position_filter, stats,
+        ).cache()
+        clusters = _build_clusters(
+            cluster_pairs, by_id, num_partitions
+        ).cache()
+        singletons = _find_singletons(
+            cluster_pairs, by_id, num_partitions
+        ).cache()
+        stats.clusters = clusters.count()
+        stats.singletons = singletons.count()
+        stats.cluster_members = cluster_pairs.count()
+        member_member = clusters.flat_map(
+            lambda kv: _same_cluster_pairs(
+                kv[1][1], theta_raw, theta_c_raw, stats
             )
         )
-    )
-    member_member_across = first_hop.join(clusters, num_partitions).flat_map(
-        lambda kv: _expand_member_member(
-            kv[1][0], kv[1][1][1], theta_raw, stats, triangle_accept
-        )
-    )
 
-    everything = (
-        cluster_pairs.union(member_member)
-        .union(r_ss)
-        .union(r_m_direct)
-        .union(member_centroid)
-        .union(member_member_across)
-    )
-    final = distinct_pairs(everything, num_partitions).collect()
-    phase_seconds["expansion"] = perf_counter() - start
+    # ----------------------------------------------------- Phase 3: join
+    with phase_scope(ctx, "joining", phase_seconds):
+        p_m = overlap_prefix_size(theta_o_raw, k)
+        if singleton_prefix == "safe":
+            p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+        else:
+            p_s = overlap_prefix_size(theta_raw, k)
+
+        centroids = clusters.map(lambda kv: (kv[1][0], False)).union(
+            singletons.map(lambda kv: (kv[1], True))
+        )
+
+        def emit_tokens(tagged):
+            centroid, is_singleton = tagged
+            prefix = p_s if is_singleton else p_m
+            return (
+                (item, (centroid, is_singleton))
+                for item, _rank in centroid.prefix(prefix)
+            )
+
+        joined = grouped_join(
+            ctx,
+            centroids.flat_map(emit_tokens),
+            num_partitions,
+            _typed_kernel(
+                variant, p_m, p_s, theta_raw, theta_c_raw, stats,
+                use_position_filter,
+            ),
+            rs_kernel=_typed_rs_kernel(
+                theta_raw, theta_c_raw, stats, use_position_filter
+            ),
+            partition_threshold=partition_threshold,
+            stats=stats,
+            seed=seed,
+        )
+        r_join = distinct_pairs(joined, num_partitions).cache()
+        r_join.count()
+
+    # ------------------------------------------------- Phase 4: expansion
+    with phase_scope(ctx, "expansion", phase_seconds):
+        r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][3]).map(
+            lambda kv: (kv[0], kv[1][0])
+        )
+        r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][3])).cache()
+        r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+            lambda kv: (kv[0], kv[1][0])
+        )
+
+        def direct_sides(kv):
+            (rid_i, rid_j), (d, singleton_i, other_i, singleton_j, other_j) = kv
+            if not singleton_i:
+                yield (rid_i, (other_j, d))
+            if not singleton_j:
+                yield (rid_j, (other_i, d))
+
+        r_m_directed = r_m.flat_map(direct_sides)
+        member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
+            lambda kv: _expand_member_centroid(
+                kv[1][0][1], kv[1][1], theta_raw, stats, triangle_accept
+            )
+        )
+
+        both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][3])
+        first_hop = (
+            both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+            .join(clusters, num_partitions)
+            .flat_map(
+                lambda kv: (
+                    (kv[1][0][0], (member, dist, kv[1][0][1]))
+                    for member, dist in kv[1][1][1]
+                )
+            )
+        )
+        member_member_across = first_hop.join(
+            clusters, num_partitions
+        ).flat_map(
+            lambda kv: _expand_member_member(
+                kv[1][0], kv[1][1][1], theta_raw, stats, triangle_accept
+            )
+        )
+
+        everything = (
+            cluster_pairs.union(member_member)
+            .union(r_ss)
+            .union(r_m_direct)
+            .union(member_centroid)
+            .union(member_member_across)
+        )
+        final = distinct_pairs(everything, num_partitions).collect()
 
     results = [(i, j, d) for (i, j), d in final]
     stats.results = len(results)
@@ -540,139 +540,138 @@ def _cl_join_compact(
     phase_seconds: dict = {}
 
     # ------------------------------------------------------ Phase 1: order
-    start = perf_counter()
-    rdd = ctx.parallelize(dataset.rankings, num_partitions)
-    ordered, store, _encoder = compact_ordering(ctx, rdd)
-    phase_seconds["ordering"] = perf_counter() - start
+    with phase_scope(ctx, "ordering", phase_seconds):
+        rdd = ctx.parallelize(dataset.rankings, num_partitions)
+        ordered, store, _encoder = compact_ordering(ctx, rdd)
 
     # -------------------------------------------------- Phase 2: cluster
-    start = perf_counter()
-    p_c = overlap_prefix_size(theta_c_raw, k)
-    kernel_c, rs_kernel_c = make_compact_kernels(
-        variant, theta_c_raw, store, stats, use_position_filter
-    )
-    cluster_pairs = grouped_join(
-        ctx,
-        ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p_c)),
-        num_partitions,
-        kernel_c,
-        rs_kernel_c,
-    ).cache()
-    clusters = (
-        cluster_pairs.map(lambda kv: (kv[0][0], (kv[0][1], kv[1])))
-        .group_by_key(num_partitions)
-        .cache()
-    )
-    # Centroid/singleton roles, derived once on the driver: the pair ids
-    # are a subset of the final result set (d <= theta_c <= theta), so
-    # this collect is no larger than the join's own output, and it spares
-    # the legacy path's object-shuffling subtract/join jobs.
-    pair_ids = cluster_pairs.keys().collect()
-    centroid_rids: set = set()
-    clustered_rids: set = set()
-    for rid_i, rid_j in pair_ids:
-        centroid_rids.add(rid_i)
-        clustered_rids.add(rid_i)
-        clustered_rids.add(rid_j)
-    roles = {rid: False for rid in centroid_rids}
-    for rid in store.value:
-        if rid not in clustered_rids:
-            roles[rid] = True
-    flags = ctx.broadcast(roles)
-    stats.clusters = len(centroid_rids)
-    stats.singletons = len(roles) - len(centroid_rids)
-    stats.cluster_members = len(pair_ids)
-    member_member = clusters.flat_map(
-        lambda kv: _same_cluster_pairs_compact(
-            kv[1], store, theta_raw, theta_c_raw, stats
+    with phase_scope(ctx, "clustering", phase_seconds):
+        p_c = overlap_prefix_size(theta_c_raw, k)
+        kernel_c, rs_kernel_c = make_compact_kernels(
+            variant, theta_c_raw, store, stats, use_position_filter
         )
-    )
-    phase_seconds["clustering"] = perf_counter() - start
-
-    # ----------------------------------------------------- Phase 3: join
-    start = perf_counter()
-    p_m = overlap_prefix_size(theta_o_raw, k)
-    if singleton_prefix == "safe":
-        p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
-    else:
-        p_s = overlap_prefix_size(theta_raw, k)
-
-    def emit_typed(o):
-        is_singleton = flags.value.get(o.rid)
-        if is_singleton is None:  # member of a cluster, not a centroid
-            return
-        prefix = o.prefix(p_s if is_singleton else p_m)
-        codes = tuple(sorted(code for code, _rank in prefix))
-        rid = o.rid
-        for code, rank in prefix:
-            yield (code, (rid, rank, codes, is_singleton))
-
-    kernel_j, rs_kernel_j = make_compact_typed_kernels(
-        variant, theta_raw, theta_c_raw, store, stats, use_position_filter
-    )
-    r_join = grouped_join(
-        ctx,
-        ordered.flat_map(emit_typed),
-        num_partitions,
-        kernel_j,
-        rs_kernel=rs_kernel_j,
-        partition_threshold=partition_threshold,
-        stats=stats,
-        seed=seed,
-    ).cache()
-    r_join.count()
-    phase_seconds["joining"] = perf_counter() - start
-
-    # ------------------------------------------------- Phase 4: expansion
-    start = perf_counter()
-    r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][2]).map(
-        lambda kv: (kv[0], kv[1][0])
-    )
-    r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][2])).cache()
-    r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
-        lambda kv: (kv[0], kv[1][0])
-    )
-
-    def direct_sides(kv):
-        (rid_i, rid_j), (d, singleton_i, singleton_j) = kv
-        if not singleton_i:
-            yield (rid_i, (rid_j, d))
-        if not singleton_j:
-            yield (rid_j, (rid_i, d))
-
-    r_m_directed = r_m.flat_map(direct_sides)
-    member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
-        lambda kv: _expand_member_centroid_compact(
-            kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+        cluster_pairs = grouped_join(
+            ctx,
+            ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p_c)),
+            num_partitions,
+            kernel_c,
+            rs_kernel_c,
+        ).cache()
+        clusters = (
+            cluster_pairs.map(lambda kv: (kv[0][0], (kv[0][1], kv[1])))
+            .group_by_key(num_partitions)
+            .cache()
         )
-    )
-
-    both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][2])
-    first_hop = (
-        both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
-        .join(clusters, num_partitions)
-        .flat_map(
-            lambda kv: (
-                (kv[1][0][0], (member, dist, kv[1][0][1]))
-                for member, dist in kv[1][1]
+        # Centroid/singleton roles, derived once on the driver: the pair
+        # ids are a subset of the final result set (d <= theta_c <=
+        # theta), so this collect is no larger than the join's own
+        # output, and it spares the legacy path's object-shuffling
+        # subtract/join jobs.
+        pair_ids = cluster_pairs.keys().collect()
+        centroid_rids: set = set()
+        clustered_rids: set = set()
+        for rid_i, rid_j in pair_ids:
+            centroid_rids.add(rid_i)
+            clustered_rids.add(rid_i)
+            clustered_rids.add(rid_j)
+        roles = {rid: False for rid in centroid_rids}
+        for rid in store.value:
+            if rid not in clustered_rids:
+                roles[rid] = True
+        flags = ctx.broadcast(roles)
+        stats.clusters = len(centroid_rids)
+        stats.singletons = len(roles) - len(centroid_rids)
+        stats.cluster_members = len(pair_ids)
+        member_member = clusters.flat_map(
+            lambda kv: _same_cluster_pairs_compact(
+                kv[1], store, theta_raw, theta_c_raw, stats
             )
         )
-    )
-    member_member_across = first_hop.join(clusters, num_partitions).flat_map(
-        lambda kv: _expand_member_member_compact(
-            kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
-        )
-    )
 
-    everything = (
-        cluster_pairs.union(member_member)
-        .union(r_ss)
-        .union(r_m_direct)
-        .union(member_centroid)
-        .union(member_member_across)
-    )
-    final = distinct_pairs(everything, num_partitions).collect()
-    phase_seconds["expansion"] = perf_counter() - start
+    # ----------------------------------------------------- Phase 3: join
+    with phase_scope(ctx, "joining", phase_seconds):
+        p_m = overlap_prefix_size(theta_o_raw, k)
+        if singleton_prefix == "safe":
+            p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+        else:
+            p_s = overlap_prefix_size(theta_raw, k)
+
+        def emit_typed(o):
+            is_singleton = flags.value.get(o.rid)
+            if is_singleton is None:  # member of a cluster, not a centroid
+                return
+            prefix = o.prefix(p_s if is_singleton else p_m)
+            codes = tuple(sorted(code for code, _rank in prefix))
+            rid = o.rid
+            for code, rank in prefix:
+                yield (code, (rid, rank, codes, is_singleton))
+
+        kernel_j, rs_kernel_j = make_compact_typed_kernels(
+            variant, theta_raw, theta_c_raw, store, stats, use_position_filter
+        )
+        r_join = grouped_join(
+            ctx,
+            ordered.flat_map(emit_typed),
+            num_partitions,
+            kernel_j,
+            rs_kernel=rs_kernel_j,
+            partition_threshold=partition_threshold,
+            stats=stats,
+            seed=seed,
+        ).cache()
+        r_join.count()
+
+    # ------------------------------------------------- Phase 4: expansion
+    with phase_scope(ctx, "expansion", phase_seconds):
+        r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][2]).map(
+            lambda kv: (kv[0], kv[1][0])
+        )
+        r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][2])).cache()
+        r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+            lambda kv: (kv[0], kv[1][0])
+        )
+
+        def direct_sides(kv):
+            (rid_i, rid_j), (d, singleton_i, singleton_j) = kv
+            if not singleton_i:
+                yield (rid_i, (rid_j, d))
+            if not singleton_j:
+                yield (rid_j, (rid_i, d))
+
+        r_m_directed = r_m.flat_map(direct_sides)
+        member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
+            lambda kv: _expand_member_centroid_compact(
+                kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+            )
+        )
+
+        both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][2])
+        first_hop = (
+            both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+            .join(clusters, num_partitions)
+            .flat_map(
+                lambda kv: (
+                    (kv[1][0][0], (member, dist, kv[1][0][1]))
+                    for member, dist in kv[1][1]
+                )
+            )
+        )
+        member_member_across = first_hop.join(
+            clusters, num_partitions
+        ).flat_map(
+            lambda kv: _expand_member_member_compact(
+                kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+            )
+        )
+
+        everything = (
+            cluster_pairs.union(member_member)
+            .union(r_ss)
+            .union(r_m_direct)
+            .union(member_centroid)
+            .union(member_member_across)
+        )
+        final = distinct_pairs(everything, num_partitions).collect()
 
     results = [(i, j, d) for (i, j), d in final]
     stats.results = len(results)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from time import perf_counter
 
 from ..minispark.context import Context
+from ..minispark.tracing import phase_scope
 from ..rankings.bounds import jaccard_prefix_size
 from ..rankings.dataset import RankingDataset
 from ..rankings.distances import jaccard_distance
@@ -94,52 +95,54 @@ def jaccard_join(
     stats = JoinStats()
     phase_seconds: dict = {}
 
-    start = perf_counter()
-    rdd = ctx.parallelize(dataset.rankings, num_partitions)
-    ordered = order_rankings_rdd(ctx, rdd)
-    phase_seconds["ordering"] = perf_counter() - start
+    with phase_scope(ctx, "ordering", phase_seconds):
+        rdd = ctx.parallelize(dataset.rankings, num_partitions)
+        ordered = order_rankings_rdd(ctx, rdd)
 
-    start = perf_counter()
-    tokens = ordered.flat_map(
-        lambda o: ((item, o) for item, _rank in o.prefix(prefix))
-    )
+    with phase_scope(ctx, "join", phase_seconds):
+        tokens = ordered.flat_map(
+            lambda o: ((item, o) for item, _rank in o.prefix(prefix))
+        )
 
-    def kernel(_item, members):
-        members = sorted(members, key=lambda o: o.rid)
-        for a_index, left in enumerate(members):
-            for right in members[a_index + 1 :]:
-                stats.candidates += 1
-                stats.verified += 1
-                distance = _jaccard_within(left.ranking, right.ranking, theta)
-                if distance is not None:
-                    yield canonical_pair(left.rid, right.rid), distance
+        def kernel(_item, members):
+            members = sorted(members, key=lambda o: o.rid)
+            for a_index, left in enumerate(members):
+                for right in members[a_index + 1 :]:
+                    stats.candidates += 1
+                    stats.verified += 1
+                    distance = _jaccard_within(
+                        left.ranking, right.ranking, theta
+                    )
+                    if distance is not None:
+                        yield canonical_pair(left.rid, right.rid), distance
 
-    def rs_kernel(_item, left_members, right_members):
-        for left in left_members:
-            for right in right_members:
-                if left.rid == right.rid:
-                    continue
-                stats.candidates += 1
-                stats.verified += 1
-                distance = _jaccard_within(left.ranking, right.ranking, theta)
-                if distance is not None:
-                    yield canonical_pair(left.rid, right.rid), distance
+        def rs_kernel(_item, left_members, right_members):
+            for left in left_members:
+                for right in right_members:
+                    if left.rid == right.rid:
+                        continue
+                    stats.candidates += 1
+                    stats.verified += 1
+                    distance = _jaccard_within(
+                        left.ranking, right.ranking, theta
+                    )
+                    if distance is not None:
+                        yield canonical_pair(left.rid, right.rid), distance
 
-    pairs = grouped_join(
-        ctx,
-        tokens,
-        num_partitions,
-        kernel,
-        rs_kernel=rs_kernel,
-        partition_threshold=partition_threshold,
-        stats=stats,
-        seed=seed,
-    )
-    results = [
-        (i, j, d)
-        for (i, j), d in distinct_pairs(pairs, num_partitions).collect()
-    ]
-    phase_seconds["join"] = perf_counter() - start
+        pairs = grouped_join(
+            ctx,
+            tokens,
+            num_partitions,
+            kernel,
+            rs_kernel=rs_kernel,
+            partition_threshold=partition_threshold,
+            stats=stats,
+            seed=seed,
+        )
+        results = [
+            (i, j, d)
+            for (i, j), d in distinct_pairs(pairs, num_partitions).collect()
+        ]
     stats.results = len(results)
     return JoinResult(
         pairs=results,

@@ -27,9 +27,9 @@ benchmark compares it with CL's join-based clustering.
 from __future__ import annotations
 
 import random
-from time import perf_counter
 
 from ..minispark.context import Context
+from ..minispark.tracing import phase_scope
 from ..rankings.bounds import raw_threshold
 from ..rankings.dataset import RankingDataset
 from ..rankings.distances import footrule
@@ -61,56 +61,65 @@ def metric_partition_join(
     phase_seconds: dict = {}
 
     # ---- Partitioning stage: pick centroids, route every ranking.
-    start = perf_counter()
-    rng = random.Random(seed)
-    centroids = rng.sample(dataset.rankings, num_centroids)
-    table = ctx.broadcast([(index, c) for index, c in enumerate(centroids)])
+    with phase_scope(ctx, "partitioning", phase_seconds):
+        rng = random.Random(seed)
+        centroids = rng.sample(dataset.rankings, num_centroids)
+        table = ctx.broadcast(
+            [(index, c) for index, c in enumerate(centroids)]
+        )
 
-    def route(ranking):
-        """Home partition + replicas within the theta window.
+        def route(ranking):
+            """Home partition + replicas within the theta window.
 
-        For every centroid c with d(r, c) <= d(r, home) + theta the
-        ranking is shipped to c's partition as a border copy.  Any result
-        pair (r, s) then co-locates at the centroid nearest to r or to s:
-        d(s, c_r) <= d(s, r) + d(r, c_r) <= theta + d(r, c_r).
-        """
-        distances = [
-            (index, footrule(ranking, centroid))
-            for index, centroid in table.value
-        ]
-        home_index, home_distance = min(distances, key=lambda id_d: id_d[1])
-        yield (home_index, (ranking, True))
-        for index, distance in distances:
-            if index != home_index and distance <= home_distance + theta_raw:
-                yield (index, (ranking, False))
+            For every centroid c with d(r, c) <= d(r, home) + theta the
+            ranking is shipped to c's partition as a border copy.  Any
+            result pair (r, s) then co-locates at the centroid nearest to
+            r or to s: d(s, c_r) <= d(s, r) + d(r, c_r) <= theta +
+            d(r, c_r).
+            """
+            distances = [
+                (index, footrule(ranking, centroid))
+                for index, centroid in table.value
+            ]
+            home_index, home_distance = min(
+                distances, key=lambda id_d: id_d[1]
+            )
+            yield (home_index, (ranking, True))
+            for index, distance in distances:
+                if (
+                    index != home_index
+                    and distance <= home_distance + theta_raw
+                ):
+                    yield (index, (ranking, False))
 
-    routed = ctx.parallelize(dataset.rankings, num_partitions).flat_map(route)
-    regions = routed.group_by_key(num_partitions).cache()
-    replicas = regions.map(lambda kv: len(kv[1])).sum()
-    phase_seconds["partitioning"] = perf_counter() - start
+        routed = ctx.parallelize(
+            dataset.rankings, num_partitions
+        ).flat_map(route)
+        regions = routed.group_by_key(num_partitions).cache()
+        replicas = regions.map(lambda kv: len(kv[1])).sum()
 
     # ---- Join stage: nested loop per region, home pairs + border pairs.
-    start = perf_counter()
+    with phase_scope(ctx, "join", phase_seconds):
 
-    def join_region(kv):
-        _index, members = kv
-        members = sorted(members, key=lambda member: member[0].rid)
-        for a_index, (left, left_home) in enumerate(members):
-            for right, right_home in members[a_index + 1 :]:
-                # Avoid pure border-border duplicates: at least one side
-                # must be at home here, or the pair is found elsewhere.
-                if not (left_home or right_home):
-                    continue
-                stats.candidates += 1
-                stats.verified += 1
-                distance = verify(left, right, theta_raw)
-                if distance is not None:
-                    yield (canonical_pair(left.rid, right.rid), distance)
+        def join_region(kv):
+            _index, members = kv
+            members = sorted(members, key=lambda member: member[0].rid)
+            for a_index, (left, left_home) in enumerate(members):
+                for right, right_home in members[a_index + 1 :]:
+                    # Avoid pure border-border duplicates: at least one
+                    # side must be at home here, or the pair is found
+                    # elsewhere.
+                    if not (left_home or right_home):
+                        continue
+                    stats.candidates += 1
+                    stats.verified += 1
+                    distance = verify(left, right, theta_raw)
+                    if distance is not None:
+                        yield (canonical_pair(left.rid, right.rid), distance)
 
-    pairs = regions.flat_map(join_region)
-    unique = pairs.reduce_by_key(lambda a, _b: a, num_partitions)
-    results = [(i, j, d) for (i, j), d in unique.collect()]
-    phase_seconds["join"] = perf_counter() - start
+        pairs = regions.flat_map(join_region)
+        unique = pairs.reduce_by_key(lambda a, _b: a, num_partitions)
+        results = [(i, j, d) for (i, j), d in unique.collect()]
 
     stats.results = len(results)
     stats.cluster_members = replicas

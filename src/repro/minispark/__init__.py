@@ -29,6 +29,7 @@ from .executors import (
     make_executor,
 )
 from .metrics import JobMetrics, MetricsCollector, StageMetrics
+from .tracing import TRACE_SCHEMA_VERSION, Span, Tracer, phase_scope
 from .partitioner import (
     HashPartitioner,
     Partitioner,
@@ -67,6 +68,10 @@ __all__ = [
     "Partitioner",
     "RDD",
     "RangePartitioner",
+    "Span",
     "StageMetrics",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "phase_scope",
     "portable_hash",
 ]

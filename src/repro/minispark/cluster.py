@@ -4,7 +4,7 @@ The paper runs on Spark 1.6 over 8 nodes (2 x 6-core Xeons, 128 GB each)
 with the Table 3 parameters: 24 executor instances, 5 cores each, 8 GB
 executor memory, 12 GB driver memory.  We execute tasks locally — serially
 or on a thread/process backend (``Context(executor=...)``) — and record
-every task attempt's *own* compute duration inside the worker;
+every task's *own* compute duration (its final attempt) inside the worker;
 :class:`ClusterModel` then *replays* those durations onto ``executors x
 cores`` parallel slots to estimate the wall time a cluster of a given
 shape would need.  Because ``task_seconds`` are per-task times (not stage
@@ -120,6 +120,7 @@ class ClusterModel:
         shuffle_bytes: int = 0,
         backoff_seconds: float = 0.0,
         worker_respawns: int = 0,
+        failed_attempt_seconds: float = 0.0,
     ) -> float:
         """Simulated wall time of one stage.
 
@@ -127,10 +128,12 @@ class ClusterModel:
         call overhead, framing) and a per-byte cost (the wire itself), so
         a path that shuffles the same record count in fewer bytes — the
         compact token format — is rewarded by the replay.  Recovery is
-        charged too: retry backoff waits and worker respawns extend the
-        stage (failed attempts' compute time already sits inside
-        ``task_seconds``), so a chaos run simulates slower than a clean
-        one — the cost the paper's Spark deployment pays for resilience.
+        charged too: retry backoff waits, worker respawns, and the
+        compute burned on failed attempts (``task_seconds`` holds only
+        each task's *final* attempt, so failed tries are charged
+        separately here) extend the stage — a chaos run simulates slower
+        than a clean one, the cost the paper's Spark deployment pays for
+        resilience.
         """
         cost = self.cost_model
         padded = [t + cost.task_latency_seconds for t in task_seconds]
@@ -142,6 +145,7 @@ class ClusterModel:
         recovery = (
             backoff_seconds
             + worker_respawns * cost.worker_respawn_seconds
+            + failed_attempt_seconds
         )
         return cost.stage_overhead_seconds + compute + network + recovery
 
@@ -159,6 +163,7 @@ class ClusterModel:
                 stage.shuffle_bytes,
                 backoff_seconds=stage.backoff_seconds,
                 worker_respawns=stage.worker_respawns,
+                failed_attempt_seconds=stage.failed_attempt_seconds,
             )
             for stage in job.stages
         )

@@ -12,6 +12,7 @@ from .executors import TaskExecutor, make_executor
 from .metrics import MetricsCollector
 from .rdd import ParallelCollectionRDD, RDD
 from .scheduler import Scheduler
+from .tracing import Tracer, make_tracer
 
 
 class Broadcast:
@@ -103,6 +104,12 @@ class Context:
         Per-stage budget of dead-worker respawns on the processes
         backend before the stage raises
         :class:`~repro.minispark.chaos.ExecutorBrokenError`.
+    tracer:
+        Structured tracing (:mod:`repro.minispark.tracing`).  Pass a
+        :class:`~repro.minispark.tracing.Tracer` to share one across
+        contexts, ``True`` to create a fresh one, or ``False`` to
+        disable.  The default ``None`` consults the ``REPRO_TRACE``
+        environment variable, so whole test suites can run traced.
     """
 
     def __init__(
@@ -118,6 +125,7 @@ class Context:
         retry_policy: RetryPolicy | None = None,
         speculation: SpeculationPolicy | None = None,
         max_worker_respawns: int = 4,
+        tracer: Tracer | bool | None = None,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -143,6 +151,7 @@ class Context:
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel()
         self.executor = make_executor(executor, max_workers)
+        self.tracer = make_tracer(tracer)
         self.scheduler = Scheduler(self)
         self.metrics = MetricsCollector()
 
@@ -179,6 +188,12 @@ class Context:
         old = self.executor.name
         self.executor = make_executor(name, self.executor.max_workers)
         self.metrics.record_fallback(old, name, reason)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "executor_fallback",
+                "fallback",
+                **{"from": old, "to": name, "reason": reason},
+            )
 
     def simulated_seconds(self, cluster: ClusterConfig | None = None) -> float:
         """Replay all recorded jobs on a cluster shape (defaults to own)."""

@@ -47,7 +47,7 @@ import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from time import perf_counter, sleep
+from time import perf_counter, sleep, thread_time
 from typing import Callable, Sequence
 
 from .chaos import (
@@ -68,16 +68,27 @@ class TaskOutcome:
     """What one task produced: a value or an error, plus attempt timings.
 
     ``attempt_seconds`` has one entry per attempt (failed attempts
-    included) — the scheduler appends them to ``StageMetrics.task_seconds``
-    in partition order so metrics stay deterministic under concurrency.
-    The recovery fields record what it took to get the value: injected
-    chaos faults, seconds slept in retry backoff, whether a speculative
-    duplicate was launched / won, and how many worker respawns the task
-    caused on the processes backend.
+    included); the scheduler records the *final* attempt's duration as the
+    task's wall seconds in ``StageMetrics.task_seconds`` and keeps the
+    full history in ``StageMetrics.attempt_seconds``, in partition order
+    so metrics stay deterministic under concurrency.  The parallel lists
+    ``attempt_windows`` (absolute ``perf_counter`` ``(begin, end)`` pairs
+    — CLOCK_MONOTONIC is system-wide on POSIX, so windows measured inside
+    forked workers are directly comparable to driver timestamps),
+    ``attempt_cpu_seconds`` (per-attempt ``thread_time`` CPU deltas), and
+    ``attempt_failed`` let the scheduler synthesize task/attempt trace
+    spans after the fact, on any backend.  The recovery fields record
+    what it took to get the value: injected chaos faults, seconds slept
+    in retry backoff, whether a speculative duplicate was launched / won,
+    and how many worker respawns the task caused on the processes
+    backend.
     """
 
     value: object = None
     attempt_seconds: list = field(default_factory=list)
+    attempt_windows: list = field(default_factory=list)
+    attempt_cpu_seconds: list = field(default_factory=list)
+    attempt_failed: list = field(default_factory=list)
     failures: int = 0
     error: BaseException | None = None
     backoff_seconds: float = 0.0
@@ -112,6 +123,7 @@ def run_task_with_retries(
     for attempt in range(policy.retries + 1):
         number = attempt_base + attempt
         start = perf_counter()
+        cpu_start = thread_time()
         try:
             if policy.chaos is not None:
                 delay = policy.chaos.straggler_delay(policy.stage, index, number)
@@ -124,7 +136,7 @@ def run_task_with_retries(
                     )
             value = compute()
         except Exception as exc:
-            outcome.attempt_seconds.append(perf_counter() - start)
+            _close_attempt(outcome, start, cpu_start, failed=True)
             outcome.failures += 1
             if isinstance(exc, ChaosError):
                 outcome.chaos_faults += 1
@@ -136,10 +148,19 @@ def run_task_with_retries(
                 outcome.backoff_seconds += backoff
                 sleep(backoff)
         else:
-            outcome.attempt_seconds.append(perf_counter() - start)
+            _close_attempt(outcome, start, cpu_start, failed=False)
             outcome.value = value
             return outcome
     raise AssertionError("unreachable")
+
+
+def _close_attempt(outcome, start, cpu_start, failed) -> None:
+    """Record one finished attempt's wall window, CPU time, and status."""
+    end = perf_counter()
+    outcome.attempt_seconds.append(end - start)
+    outcome.attempt_windows.append((start, end))
+    outcome.attempt_cpu_seconds.append(max(0.0, thread_time() - cpu_start))
+    outcome.attempt_failed.append(failed)
 
 
 def default_max_workers() -> int:
@@ -520,6 +541,9 @@ def _forked_worker(conn, tasks, indices, policy, restarts):
                         TaskOutcome(
                             failures=outcome.failures,
                             attempt_seconds=outcome.attempt_seconds,
+                            attempt_windows=outcome.attempt_windows,
+                            attempt_cpu_seconds=outcome.attempt_cpu_seconds,
+                            attempt_failed=outcome.attempt_failed,
                             error=RuntimeError(
                                 "task result could not be sent back from "
                                 f"the worker process: {exc!r}"

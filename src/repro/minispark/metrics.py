@@ -16,18 +16,44 @@ serve two purposes:
   phenomenon CL-P's repartitioning targets.
 
 Tasks may run concurrently (``Context(executor="threads"|"processes")``),
-so two durations exist per stage: ``task_seconds`` — each attempt's own
+so two durations exist per stage: ``task_seconds`` — each task's own
 compute time, measured inside the worker and therefore still the valid
 input for the cluster cost model's replay — and ``wall_seconds``, the
 stage's measured elapsed time on the local machine.  Serially these
 coincide (minus scheduling overhead); under a parallel backend their ratio
 is the locally realized speedup.  ``JobMetrics`` records which executor
 and worker count produced the numbers.
+
+Retried tasks keep the two views apart: ``task_seconds`` holds exactly
+one entry per task — the *final* attempt's duration, overwriting earlier
+failed tries so skew stats and the cost model's compute replay see clean
+per-partition work — while ``attempt_seconds`` keeps every attempt
+(failed ones included).  The difference,
+:attr:`StageMetrics.failed_attempt_seconds`, is the compute burned on
+recovery and is charged separately by the cluster model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Mirrors ``numpy.percentile(..., method="linear")`` for the small
+    duration lists this module sees, without importing numpy here.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
 
 
 @dataclass
@@ -36,6 +62,7 @@ class StageMetrics:
 
     name: str
     task_seconds: list = field(default_factory=list)
+    attempt_seconds: list = field(default_factory=list)
     records_in: int = 0
     records_out: int = 0
     shuffle_records: int = 0
@@ -55,12 +82,39 @@ class StageMetrics:
         return len(self.task_seconds)
 
     @property
+    def num_attempts(self) -> int:
+        """Every attempt that ran, failed tries included.
+
+        Equals ``num_tasks + task_failures`` on a stage whose tasks all
+        eventually succeeded.
+        """
+        return len(self.attempt_seconds)
+
+    @property
     def total_task_seconds(self) -> float:
         return sum(self.task_seconds)
 
     @property
+    def total_attempt_seconds(self) -> float:
+        return sum(self.attempt_seconds)
+
+    @property
+    def failed_attempt_seconds(self) -> float:
+        """Compute seconds burned on attempts that did not produce the value."""
+        return max(0.0, self.total_attempt_seconds - self.total_task_seconds)
+
+    @property
     def max_task_seconds(self) -> float:
         return max(self.task_seconds, default=0.0)
+
+    def duration_stats(self) -> dict:
+        """Partition-skew stats of final-attempt task durations."""
+        return {
+            "min": min(self.task_seconds, default=0.0),
+            "median": percentile(self.task_seconds, 50.0),
+            "p95": percentile(self.task_seconds, 95.0),
+            "max": self.max_task_seconds,
+        }
 
     def skew_ratio(self) -> float:
         """Max-over-mean task duration — 1.0 means perfectly balanced."""
@@ -118,6 +172,10 @@ class JobMetrics:
     @property
     def num_tasks(self) -> int:
         return sum(s.num_tasks for s in self.stages)
+
+    @property
+    def num_attempts(self) -> int:
+        return sum(s.num_attempts for s in self.stages)
 
     @property
     def total_retries(self) -> int:

@@ -31,7 +31,18 @@ reproduced end to end.
 Every task attempt is timed with ``perf_counter``; the durations, record
 counts, shuffle volumes, recovery events, and each stage's wall-clock time
 land in a :class:`~repro.minispark.metrics.JobMetrics` that the cluster
-cost model replays to estimate multi-node wall time.
+cost model replays to estimate multi-node wall time.  A retried task
+contributes its *final* attempt as the task's wall seconds
+(``StageMetrics.task_seconds``) — earlier failed tries live only in
+``attempt_seconds`` — so skew stats and the cost model's compute replay
+are not inflated by recovery work.
+
+When the context carries a :class:`~repro.minispark.tracing.Tracer`, the
+scheduler additionally emits one *job* span per action, one *stage* span
+per map/result stage (annotated with task counts, shuffle volumes, and
+skew stats), and synthesizes *task*/*attempt* spans from the absolute
+attempt windows every executor's retry loop measures — plus instant
+events for injected shuffle loss and lineage recomputation.
 """
 
 from __future__ import annotations
@@ -149,13 +160,23 @@ class Scheduler:
         """
         executor = self.context.executor
         policy = self._task_policy(stage.name)
+        tracer = self.context.tracer
+        span = tracer.begin(stage.name, "stage") if tracer is not None else None
+        stage._trace_span = span  # later annotation (shuffle volumes)
         start = perf_counter()
         try:
             outcomes = executor.run_tasks(tasks, policy)
         finally:
             stage.wall_seconds += perf_counter() - start
-        for outcome in outcomes:
-            stage.task_seconds.extend(outcome.attempt_seconds)
+            if tracer is not None:
+                tracer.end(span)
+        for index, outcome in enumerate(outcomes):
+            stage.attempt_seconds.extend(outcome.attempt_seconds)
+            if outcome.attempt_seconds:
+                # The final attempt *overwrites* earlier failed tries:
+                # exactly one wall-seconds entry per task, so skew stats
+                # and the cost model replay see clean per-partition work.
+                stage.task_seconds.append(outcome.attempt_seconds[-1])
             stage.task_failures += outcome.failures
             stage.retries += (
                 outcome.failures if outcome.ok else outcome.failures - 1
@@ -165,28 +186,141 @@ class Scheduler:
             stage.speculative_launched += 1 if outcome.speculated else 0
             stage.speculative_wins += 1 if outcome.speculative_win else 0
             stage.worker_respawns += outcome.respawns
+            if tracer is not None:
+                self._trace_task(tracer, span, index, outcome)
+        if tracer is not None:
+            span.annotate(
+                tasks=stage.num_tasks,
+                attempts=stage.num_attempts,
+                task_failures=stage.task_failures,
+                retries=stage.retries,
+                chaos_faults=stage.chaos_faults,
+                speculative_launched=stage.speculative_launched,
+                speculative_wins=stage.speculative_wins,
+                worker_respawns=stage.worker_respawns,
+                skew_ratio=round(stage.skew_ratio(), 4),
+                task_stats={
+                    key: round(value, 6)
+                    for key, value in stage.duration_stats().items()
+                },
+            )
         for outcome in outcomes:
             if not outcome.ok:
                 raise outcome.error
         return [outcome.value for outcome in outcomes]
 
+    @staticmethod
+    def _trace_task(tracer, stage_span, index: int, outcome) -> None:
+        """Synthesize task + attempt spans from one outcome's windows.
+
+        The windows are absolute ``perf_counter`` intervals measured
+        inside the worker (thread or forked process — the clock is
+        system-wide), so the reconstructed spans show the stage's true
+        concurrency structure even though they are recorded after the
+        stage completed.
+        """
+        windows = outcome.attempt_windows
+        if not windows:
+            return
+        task_span = tracer.add_completed(
+            f"task-{index}",
+            "task",
+            windows[0][0],
+            windows[-1][1],
+            parent=stage_span,
+            partition=index,
+            attempts=len(windows),
+            failures=outcome.failures,
+            chaos_faults=outcome.chaos_faults,
+            backoff_seconds=round(outcome.backoff_seconds, 6),
+            speculated=outcome.speculated,
+            speculative_win=outcome.speculative_win,
+            respawns=outcome.respawns,
+            ok=outcome.ok,
+        )
+        for number, (begin, end) in enumerate(windows):
+            args = {}
+            if number < len(outcome.attempt_failed):
+                args["ok"] = not outcome.attempt_failed[number]
+            if number < len(outcome.attempt_cpu_seconds):
+                args["cpu_seconds"] = round(
+                    outcome.attempt_cpu_seconds[number], 6
+                )
+            tracer.add_completed(
+                f"attempt-{number}", "attempt", begin, end,
+                parent=task_span, **args,
+            )
+
     def run_job(self, rdd: RDD, name: str) -> list:
         """Run an action: returns one list of records per partition."""
         executor = self.context.executor
+        tracer = self.context.tracer
         job = JobMetrics(
             name, executor=executor.name, max_workers=executor.max_workers
         )
-        self._materialize_shuffles(rdd, job, seen=set())
-        stage = job.new_stage(f"result:{name}")
-        tasks = [
-            (lambda index=index: list(rdd.iterator(index)))
-            for index in range(rdd.num_partitions)
-        ]
-        results = self._run_stage(stage, tasks)
+        span = (
+            tracer.begin(f"job:{name}", "job", executor=executor.name)
+            if tracer is not None
+            else None
+        )
+        try:
+            self._materialize_shuffles(rdd, job, seen=set())
+            stage = job.new_stage(f"result:{name}")
+            tasks = [
+                (lambda index=index: list(rdd.iterator(index)))
+                for index in range(rdd.num_partitions)
+            ]
+            results = self._run_stage(stage, tasks)
+        finally:
+            if tracer is not None:
+                tracer.end(
+                    span,
+                    stages=len(job.stages),
+                    stages_recomputed=job.stages_recomputed,
+                )
         for records in results:
             stage.records_out += len(records)
+        if stage._trace_span is not None:
+            stage._trace_span.annotate(records_out=stage.records_out)
         self.context.metrics.add(job)
         return results
+
+    def materialize(self, rdd: RDD, name: str) -> JobMetrics:
+        """Run only the map stages that ``rdd``'s pending shuffles need.
+
+        A half-job: every unmaterialized :class:`ShuffleDependency` in the
+        lineage is executed (and already-materialized ones revalidated),
+        but the result stage is *not* run.  A later action on the same
+        lineage reuses the outputs, so total work is unchanged — callers
+        use this to split one action into separately timed phases (VJ's
+        group vs. verify).  The job is recorded in the context metrics
+        (possibly with zero stages) and returned.
+        """
+        executor = self.context.executor
+        tracer = self.context.tracer
+        job = JobMetrics(
+            f"materialize:{name}",
+            executor=executor.name,
+            max_workers=executor.max_workers,
+        )
+        span = (
+            tracer.begin(
+                f"job:materialize:{name}", "job", executor=executor.name
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            self._materialize_shuffles(rdd, job, seen=set())
+        finally:
+            if tracer is not None:
+                tracer.end(
+                    span,
+                    stages=len(job.stages),
+                    stages_recomputed=job.stages_recomputed,
+                )
+        self.context.metrics.add(job)
+        return job
 
     # ------------------------------------------------------------ internals
 
@@ -212,6 +346,12 @@ class Scheduler:
                 if not self._shuffle_valid(dep):
                     dep.invalidate()
                     job.stages_recomputed += 1
+                    if self.context.tracer is not None:
+                        self.context.tracer.instant(
+                            "shuffle_recompute",
+                            "recovery",
+                            rdd=f"rdd{dep.parent.rdd_id}",
+                        )
             if not dep.materialized:
                 self._run_map_stage(dep, job)
 
@@ -222,6 +362,10 @@ class Scheduler:
         if chaos.shuffle_lost(f"rdd{dep.parent.rdd_id}", dep.loss_epoch):
             dep.loss_epoch += 1
             dep.mark_lost()
+            if self.context.tracer is not None:
+                self.context.tracer.instant(
+                    "shuffle_lost", "chaos", rdd=f"rdd{dep.parent.rdd_id}"
+                )
 
     def _shuffle_valid(self, dep: ShuffleDependency) -> bool:
         if dep.lost:
@@ -273,6 +417,12 @@ class Scheduler:
         stage.shuffle_bytes = estimate_shuffle_bytes(
             outputs, self.context.shuffle_byte_sample
         )
+        if stage._trace_span is not None:
+            stage._trace_span.annotate(
+                records_in=stage.records_in,
+                shuffle_records=stage.shuffle_records,
+                shuffle_bytes=stage.shuffle_bytes,
+            )
         dep.outputs = outputs
         dep.records = stage.shuffle_records
         dep.bytes = stage.shuffle_bytes

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.minispark import Context
+from repro.minispark.chaos import FaultPlan, RetryPolicy
 
 
 class Flaky:
@@ -34,8 +35,11 @@ class TestResultStageRetries:
         ctx.parallelize([1, 2], 2).map(flaky).collect()
         stage = ctx.metrics.jobs[-1].stages[-1]
         assert stage.task_failures == 2
-        # Each failed attempt is timed too.
-        assert stage.num_tasks == 4
+        # One wall-seconds entry per task (the final attempt); failed
+        # tries are kept separately in attempt_seconds.
+        assert stage.num_tasks == 2
+        assert stage.num_attempts == 4
+        assert stage.failed_attempt_seconds > 0.0
 
     def test_exhausted_retries_raise(self):
         ctx = Context(4, task_retries=1)
@@ -76,6 +80,66 @@ class TestShuffleStageRetries:
         pairs.group_by_key().collect()
         shuffle_stage = ctx.metrics.jobs[-1].stages[0]
         assert shuffle_stage.task_failures == 2
+
+
+class TestFinalAttemptOverwrites:
+    """Regression: task wall seconds must be the *final* attempt's.
+
+    Before the fix, every failed attempt's duration accumulated into
+    ``task_seconds``, inflating skew stats and the cost model's compute
+    replay by the retry work.  With straggler chaos slowing exactly the
+    failing attempts, the final per-task entries must stay fast while the
+    burned time lands in ``failed_attempt_seconds``.
+    """
+
+    def _chaos_ctx(self, **kwargs):
+        # Every task's attempts 0 and 1 fail slowly (straggled by 50 ms);
+        # attempt 2 is past max_faults_per_task, hence clean and fast.
+        return Context(
+            4,
+            task_retries=2,
+            chaos=FaultPlan(seed=0, transient_rate=1.0, straggler_rate=1.0,
+                            straggler_seconds=0.05, max_faults_per_task=2),
+            retry_policy=RetryPolicy(backoff_base_seconds=0.0),
+            **kwargs,
+        )
+
+    def test_result_stage_keeps_only_final_attempts(self):
+        ctx = self._chaos_ctx()
+        assert sorted(
+            ctx.parallelize([1, 2, 3, 4], 4).map(lambda x: x).collect()
+        ) == [1, 2, 3, 4]
+        stage = ctx.metrics.jobs[-1].stages[-1]
+        assert stage.num_tasks == 4
+        assert stage.num_attempts == 12
+        assert stage.task_failures == 8
+        # Final attempts are unstraggled: well under the 50 ms injection.
+        assert all(seconds < 0.04 for seconds in stage.task_seconds)
+        assert stage.max_task_seconds < 0.04
+        # The straggled failures (8 x >= 50 ms) are charged separately.
+        assert stage.failed_attempt_seconds >= 8 * 0.05 * 0.9
+        assert stage.total_attempt_seconds > stage.total_task_seconds
+
+    def test_shuffle_stage_keeps_only_final_attempts(self):
+        ctx = self._chaos_ctx()
+        rdd = ctx.parallelize(range(8), 2).map(lambda x: (x % 2, x))
+        grouped = dict(rdd.group_by_key(2).collect())
+        assert sorted(v for vs in grouped.values() for v in vs) == list(
+            range(8)
+        )
+        shuffle_stage = ctx.metrics.jobs[-1].stages[0]
+        assert shuffle_stage.num_tasks == 2
+        assert shuffle_stage.num_attempts == 6
+        assert all(s < 0.04 for s in shuffle_stage.task_seconds)
+        assert shuffle_stage.failed_attempt_seconds >= 4 * 0.05 * 0.9
+
+    def test_skew_stats_see_clean_durations(self):
+        ctx = self._chaos_ctx()
+        ctx.parallelize([1, 2, 3, 4], 4).map(lambda x: x).collect()
+        stage = ctx.metrics.jobs[-1].stages[-1]
+        stats = stage.duration_stats()
+        assert stats["max"] < 0.04, "skew stats inflated by failed attempts"
+        assert stats["min"] <= stats["median"] <= stats["p95"] <= stats["max"]
 
 
 class TestValidation:

@@ -1,0 +1,183 @@
+"""Chrome trace exporter: golden file, round-trip, and CLI coverage.
+
+The exporter's output is deterministic by design (fixed field ordering,
+integer-microsecond timestamps, (ts, id) event sort, greedy lane
+assignment), so a golden file can pin the exact byte layout.  When the
+layout changes intentionally, bump ``TRACE_SCHEMA_VERSION`` and
+regenerate with::
+
+    PYTHONPATH=src:tests python -c \
+        "from test_trace_export import write_golden; write_golden()"
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.minispark.tracing import TRACE_SCHEMA_VERSION, Tracer
+from repro.rankings import make_dataset
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_trace.json"
+)
+
+
+def reference_tracer() -> Tracer:
+    """A hand-built trace at synthetic timestamps (origin pinned to 0).
+
+    Covers every event shape the exporter emits: nested driver spans
+    (phase > job > stage), overlapping tasks that force two display
+    lanes, attempts with CPU/failure annotations, and an instant event.
+    """
+    tracer = Tracer(origin=0.0)
+    phase = tracer.add_completed("ordering", "phase", 0.000010, 0.000900)
+    job = tracer.add_completed(
+        "job:collect", "job", 0.000020, 0.000800, parent=phase,
+        executor="threads",
+    )
+    stage = tracer.add_completed(
+        "shuffle:rdd1", "stage", 0.000030, 0.000700, parent=job,
+        tasks=2, attempts=3, task_failures=1, skew_ratio=1.25,
+    )
+    task0 = tracer.add_completed(
+        "task-0", "task", 0.000040, 0.000400, parent=stage,
+        partition=0, attempts=2, failures=1, ok=True,
+    )
+    tracer.add_completed(
+        "attempt-0", "attempt", 0.000040, 0.000150, parent=task0,
+        ok=False, cpu_seconds=0.0001,
+    )
+    tracer.add_completed(
+        "attempt-1", "attempt", 0.000200, 0.000400, parent=task0,
+        ok=True, cpu_seconds=0.00015,
+    )
+    task1 = tracer.add_completed(
+        "task-1", "task", 0.000050, 0.000600, parent=stage,
+        partition=1, attempts=1, failures=0, ok=True,
+    )
+    tracer.add_completed(
+        "attempt-0", "attempt", 0.000050, 0.000600, parent=task1,
+        ok=True, cpu_seconds=0.0005,
+    )
+    tracer.instant("shuffle_lost", "chaos", ts=0.000500, rdd="rdd1")
+    return tracer
+
+
+def write_golden() -> str:
+    """(Re)generate the golden file; returns its path."""
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    return reference_tracer().write_chrome_trace(GOLDEN_PATH)
+
+
+class TestGoldenFile:
+    def test_export_matches_golden_byte_for_byte(self):
+        exported = json.dumps(
+            reference_tracer().to_chrome_trace(), indent=2
+        ) + "\n"
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            assert handle.read() == exported
+
+    def test_golden_carries_schema_version(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schemaVersion"] == TRACE_SCHEMA_VERSION
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_overlapping_tasks_get_distinct_lanes(self):
+        payload = reference_tracer().to_chrome_trace()
+        task_tids = {
+            event["name"]: event["tid"]
+            for event in payload["traceEvents"]
+            if event.get("cat") == "task"
+        }
+        assert task_tids["task-0"] != task_tids["task-1"]
+        assert all(tid > 0 for tid in task_tids.values())
+
+
+class TestRoundTrip:
+    def test_written_file_loads_and_validates(self, tmp_path):
+        tracer = reference_tracer()
+        path = tracer.write_chrome_trace(tmp_path / "trace.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schemaVersion"] == TRACE_SCHEMA_VERSION
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("X", "i", "M")
+            assert event["pid"] == 1
+            if event["ph"] == "X":
+                assert {"name", "cat", "ts", "dur", "tid", "args"} <= set(
+                    event
+                )
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+                assert isinstance(event["dur"], int) and event["dur"] >= 0
+            elif event["ph"] == "i":
+                assert event["s"] == "p"
+
+    def test_events_sorted_by_timestamp(self, tmp_path):
+        tracer = reference_tracer()
+        payload = tracer.to_chrome_trace()
+        stamps = [
+            e["ts"] for e in payload["traceEvents"] if e["ph"] != "M"
+        ]
+        assert stamps == sorted(stamps)
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "tiny.txt"
+    make_dataset("dblp", size_factor=0.05, seed=3).save(path)
+    return str(path)
+
+
+class TestCli:
+    def test_trace_out_on_clp_covers_all_phases(self, dataset_file, tmp_path,
+                                                capsys):
+        out = tmp_path / "clp.json"
+        assert main([
+            "join", dataset_file, "--theta", "0.3", "--algorithm", "cl-p",
+            "--delta", "20", "--trace-out", str(out),
+            "-o", str(tmp_path / "pairs.txt"),
+        ]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schemaVersion"] == TRACE_SCHEMA_VERSION
+        phase_names = {
+            e["name"] for e in payload["traceEvents"]
+            if e.get("cat") == "phase"
+        }
+        assert {"ordering", "clustering", "joining", "expansion"} <= \
+            phase_names
+        assert "# trace written to" in capsys.readouterr().err
+
+    def test_trace_out_and_summary_on_vj(self, dataset_file, tmp_path,
+                                         capsys):
+        out = tmp_path / "vj.json"
+        assert main([
+            "join", dataset_file, "--theta", "0.3", "--algorithm", "vj",
+            "--trace-out", str(out), "--trace-summary",
+            "-o", str(tmp_path / "pairs.txt"),
+        ]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        phase_names = {
+            e["name"] for e in payload["traceEvents"]
+            if e.get("cat") == "phase"
+        }
+        assert {"ordering", "join", "group", "verify"} <= phase_names
+        err = capsys.readouterr().err
+        assert "== trace summary ==" in err
+        assert "top" in err and "stages by wall time" in err
+
+    def test_no_trace_flags_no_trace_output(self, dataset_file, tmp_path,
+                                            capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert main([
+            "join", dataset_file, "--theta", "0.3", "--algorithm", "vj",
+            "-o", str(tmp_path / "pairs.txt"),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "trace" not in err

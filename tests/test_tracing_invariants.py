@@ -1,0 +1,289 @@
+"""Trace-model invariants: the structure every trace must satisfy.
+
+Property-based: randomized workloads are executed on randomized
+executor/chaos configurations, then the resulting trace is checked
+against the invariants the trace model promises —
+
+* every span is closed (matched begin/end);
+* strict parent nesting: attempt within task within stage within job,
+  on a single monotonic timeline;
+* trace counts equal ``StageMetrics`` counters: task spans per stage,
+  attempt spans per stage (retries included), failed-attempt spans;
+* CPU time never exceeds wall time, per attempt and per stage;
+* job spans correspond 1:1, in order, with ``ctx.metrics.jobs``.
+
+Recovery visibility (executor degradation, lineage recomputes) is
+covered at the bottom: every fallback and recompute reported by
+``recovery_summary()`` must appear as an annotated instant event.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import similarity_join
+from repro.minispark import Context
+from repro.minispark.chaos import FaultPlan, RetryPolicy
+from repro.rankings import make_dataset
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="processes executor needs the fork start method",
+)
+
+#: Clock slack for cross-checking timestamps recorded at different call
+#: sites (driver vs. worker): perf_counter is monotonic and system-wide,
+#: so ordering violations beyond rounding are real bugs.
+EPS = 1e-6
+
+#: Slack for comparing thread CPU time against wall time: the two clocks
+#: have independent resolutions, so tiny attempts can measure a few
+#: milliseconds of CPU against a near-zero wall window.
+CPU_SLACK = 0.02
+
+
+def _fast_retry() -> RetryPolicy:
+    return RetryPolicy(backoff_base_seconds=0.0)
+
+
+def _run_workload(executor: str, data: list, parts: int, chaos: bool,
+                  seed: int) -> Context:
+    """One shuffle job on a traced context; returns the context."""
+    plan = FaultPlan(seed=seed, transient_rate=0.3) if chaos else None
+    ctx = Context(
+        default_parallelism=parts,
+        executor=executor,
+        max_workers=4,
+        task_retries=2 if chaos else 0,
+        chaos=plan,
+        retry_policy=_fast_retry(),
+        tracer=True,
+    )
+    rdd = ctx.parallelize(data, parts).map(lambda x: (x % 5, x))
+    rdd.group_by_key(max(2, parts // 2)).collect()
+    return ctx
+
+
+def check_trace_invariants(ctx: Context) -> None:
+    """Assert the full invariant set on one finished context."""
+    tracer = ctx.tracer
+    spans = {span.span_id: span for span in tracer.spans}
+
+    # 1. Matched begin/end: nothing is left open, time flows forward.
+    for span in tracer.spans:
+        assert span.end is not None, f"span {span.name} never ended"
+        assert span.end >= span.begin - EPS
+
+    # 2. Strict nesting along kind edges, interval containment included.
+    containment = {"attempt": "task", "task": "stage", "stage": "job"}
+    for span in tracer.spans:
+        parent_kind = containment.get(span.kind)
+        if parent_kind is None:
+            continue
+        assert span.parent_id is not None, f"{span.kind} span has no parent"
+        parent = spans[span.parent_id]
+        assert parent.kind == parent_kind
+        assert span.begin >= parent.begin - EPS, (
+            f"{span.name} begins before its {parent_kind}"
+        )
+        assert span.end <= parent.end + EPS, (
+            f"{span.name} ends after its {parent_kind}"
+        )
+
+    # 3. Job spans are 1:1, in order, with the recorded job metrics.
+    job_spans = tracer.spans_of("job")
+    assert len(job_spans) == len(ctx.metrics.jobs)
+    for job_span, job in zip(job_spans, ctx.metrics.jobs):
+        assert job.name in job_span.name
+        stage_spans = tracer.children(job_span, "stage")
+        assert len(stage_spans) == len(job.stages)
+
+        # 4. Per-stage: trace counts equal the metrics counters.
+        for stage_span, stage in zip(stage_spans, job.stages):
+            assert stage_span.name == stage.name
+            task_spans = tracer.children(stage_span, "task")
+            assert len(task_spans) == stage.num_tasks
+            attempt_spans = [
+                a for t in task_spans for a in tracer.children(t, "attempt")
+            ]
+            assert len(attempt_spans) == stage.num_attempts
+            # A stage that succeeded ran (tasks + failures) attempts, and
+            # the failed ones are flagged on their attempt spans.
+            assert stage.num_attempts == stage.num_tasks + stage.task_failures
+            failed = [a for a in attempt_spans if a.args.get("ok") is False]
+            assert len(failed) == stage.task_failures
+            assert sum(
+                t.args.get("failures", 0) for t in task_spans
+            ) == stage.task_failures
+            assert stage_span.args.get("retries") == stage.retries
+            assert stage_span.args.get("chaos_faults") == stage.chaos_faults
+
+            # 5. CPU <= wall per attempt; stage task wall >= stage CPU.
+            stage_cpu = 0.0
+            for attempt in attempt_spans:
+                cpu = attempt.args.get("cpu_seconds", 0.0)
+                assert cpu <= attempt.duration + CPU_SLACK
+                stage_cpu += cpu
+            total_attempt_wall = sum(a.duration for a in attempt_spans)
+            assert total_attempt_wall >= stage_cpu - CPU_SLACK * max(
+                1, len(attempt_spans)
+            )
+
+
+class TestTraceInvariantsPropertyBased:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 50), min_size=1, max_size=40),
+        parts=st.integers(1, 6),
+        executor=st.sampled_from(["serial", "threads"]),
+        chaos=st.booleans(),
+        seed=st.integers(0, 10),
+    )
+    def test_randomized_workloads(self, data, parts, executor, chaos, seed):
+        ctx = _run_workload(executor, data, parts, chaos, seed)
+        check_trace_invariants(ctx)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 30), min_size=1, max_size=30),
+        chains=st.integers(1, 3),
+    )
+    def test_multi_job_lineage(self, data, chains):
+        """Several actions on one context: jobs stay 1:1 and ordered."""
+        ctx = Context(default_parallelism=3, tracer=True)
+        rdd = ctx.parallelize(data, 3).map(lambda x: (x % 3, x))
+        grouped = rdd.group_by_key(2)
+        for _ in range(chains):
+            grouped.collect()
+        check_trace_invariants(ctx)
+
+
+EXECUTORS = ["serial", "threads", pytest.param("processes", marks=needs_fork)]
+
+
+class TestTraceInvariantsAllBackends:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("chaos", [False, True])
+    def test_shuffle_workload(self, executor, chaos):
+        ctx = _run_workload(executor, list(range(60)), 4, chaos, seed=3)
+        check_trace_invariants(ctx)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_join_workload(self, executor):
+        dataset = make_dataset("dblp", size_factor=0.05, seed=1)
+        ctx = Context(default_parallelism=4, executor=executor,
+                      max_workers=4, tracer=True)
+        result = similarity_join(dataset, 0.25, algorithm="cl", ctx=ctx,
+                                 num_partitions=4)
+        assert len(result) > 0
+        check_trace_invariants(ctx)
+        # All driver-side phase spans of the CL algorithm were emitted.
+        phases = [s.name for s in ctx.tracer.spans_of("phase")]
+        for name in ("ordering", "clustering", "joining", "expansion"):
+            assert name in phases
+
+
+class TestRecoveryVisibility:
+    """Satellite: recovery_summary() and the degradation path in the trace."""
+
+    def test_degradation_chain_is_traced(self):
+        ctx = Context(default_parallelism=2, executor="threads",
+                      max_workers=2, tracer=True)
+        ctx.degrade_executor("threads", reason="workers kept dying")
+        ctx.degrade_executor("serial", reason="threads wedged")
+        events = ctx.tracer.events_of("fallback")
+        summary = ctx.metrics.recovery_summary()
+        assert len(events) == len(summary["executor_fallbacks"]) == 2
+        for event, fallback in zip(events, summary["executor_fallbacks"]):
+            assert event.name == "executor_fallback"
+            assert event.args["from"] == fallback["from"]
+            assert event.args["to"] == fallback["to"]
+            assert event.args["reason"] == fallback["reason"]
+        assert ctx.executor.name == "serial"
+
+    @needs_fork
+    def test_worker_death_degrades_and_traces(self):
+        """Kill chaos past the respawn budget: the join still finishes,
+        and the trace shows the processes -> threads fallback."""
+        dataset = make_dataset("dblp", size_factor=0.05, seed=2)
+        ctx = Context(
+            default_parallelism=2, executor="processes", max_workers=2,
+            chaos=FaultPlan(seed=5, kill_rate=1.0),
+            max_worker_respawns=0, tracer=True,
+        )
+        result = similarity_join(dataset, 0.25, algorithm="vj", ctx=ctx,
+                                 num_partitions=2)
+        assert len(result) >= 0
+        summary = ctx.metrics.recovery_summary()
+        fallbacks = ctx.tracer.events_of("fallback")
+        assert summary["executor_fallbacks"], "degradation did not happen"
+        assert len(fallbacks) == len(summary["executor_fallbacks"])
+        assert fallbacks[0].args["from"] == "processes"
+        assert fallbacks[0].args["to"] == "threads"
+
+    def test_recovery_summary_matches_trace_counters(self):
+        ctx = Context(
+            default_parallelism=4, task_retries=2,
+            chaos=FaultPlan(seed=1, transient_rate=1.0,
+                            max_faults_per_task=1),
+            retry_policy=_fast_retry(), tracer=True,
+        )
+        rdd = ctx.parallelize(range(20), 4).map(lambda x: (x % 3, x))
+        rdd.group_by_key(2).collect()
+        check_trace_invariants(ctx)
+        summary = ctx.metrics.recovery_summary()
+        stage_spans = ctx.tracer.spans_of("stage")
+        assert summary["chaos_faults"] == sum(
+            s.args.get("chaos_faults", 0) for s in stage_spans
+        ) > 0
+        assert summary["retries"] == sum(
+            s.args.get("retries", 0) for s in stage_spans
+        )
+        assert summary["task_failures"] == sum(
+            s.args.get("task_failures", 0) for s in stage_spans
+        )
+
+    def test_shuffle_loss_and_recompute_are_instants(self):
+        ctx = Context(
+            default_parallelism=2,
+            chaos=FaultPlan(seed=0, shuffle_loss_rate=1.0),
+            tracer=True,
+        )
+        rdd = ctx.parallelize(range(12), 2).map(lambda x: (x % 2, x))
+        grouped = rdd.group_by_key(2)
+        grouped.collect()  # materializes the shuffle
+        grouped.collect()  # revisit: chaos marks it lost, lineage recomputes
+        summary = ctx.metrics.recovery_summary()
+        assert summary["stages_recomputed"] == 1
+        assert len(ctx.tracer.events_of("chaos")) == 1
+        assert len(ctx.tracer.events_of("recovery")) == 1
+        digest = ctx.tracer.digest()
+        assert digest["event_counts"].get("chaos") == 1
+        assert digest["event_counts"].get("recovery") == 1
+
+
+class TestDigestAndSkew:
+    def test_digest_counts_match_spans(self):
+        ctx = _run_workload("serial", list(range(40)), 4, chaos=False, seed=0)
+        digest = ctx.tracer.digest()
+        assert digest["schema_version"] == 1
+        assert digest["num_jobs"] == len(ctx.tracer.spans_of("job"))
+        assert digest["num_stages"] == len(ctx.tracer.spans_of("stage"))
+        assert digest["num_tasks"] == len(ctx.tracer.spans_of("task"))
+        assert digest["num_attempts"] == len(ctx.tracer.spans_of("attempt"))
+        for entry in digest["stages"]:
+            assert set(entry["skew"]) == {"min", "median", "p95", "max"}
+            assert entry["skew"]["min"] <= entry["skew"]["median"] <= \
+                entry["skew"]["p95"] <= entry["skew"]["max"]
+
+    def test_stage_spans_carry_skew_stats(self):
+        ctx = _run_workload("serial", list(range(40)), 4, chaos=False, seed=0)
+        for span in ctx.tracer.spans_of("stage"):
+            assert span.args["skew_ratio"] >= 1.0
+            stats = span.args["task_stats"]
+            assert stats["max"] >= stats["p95"] >= stats["median"] >= \
+                stats["min"] >= 0.0
