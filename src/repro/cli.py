@@ -17,6 +17,7 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import (
@@ -100,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "stages by wall time, skew ratios, shuffle bytes")
     join.add_argument("-o", "--output", default=None,
                       help="write pairs here instead of stdout")
+    join.add_argument("--stats-out", default=None, metavar="PATH",
+                      help="write the JoinStats counters as sorted JSON; "
+                      "byte-comparable across executors and chaos plans "
+                      "(the counters are exact on every backend)")
 
     stats = commands.add_parser("stats", help="dataset statistics for tuning")
     stats.add_argument("dataset")
@@ -180,6 +185,11 @@ def _cmd_join(args) -> int:
             f"fallbacks {recovery['executor_fallbacks']}",
             file=sys.stderr,
         )
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(vars(result.stats), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"# stats written to {args.stats_out}", file=sys.stderr)
     if ctx.tracer is not None:
         if args.trace_out:
             ctx.tracer.write_chrome_trace(args.trace_out)

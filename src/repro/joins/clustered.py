@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from functools import partial
 
+from ..minispark.accumulators import local_stats
 from ..minispark.context import Context
 from ..minispark.tracing import phase_scope
 from ..rankings.bounds import (
@@ -122,127 +123,150 @@ def cl_join(
             triangle_accept, seed,
         )
     stats = JoinStats()
+    # Worker-side kernels count through the channel so every counter is
+    # exact on all executor backends; driver-side summary fields
+    # (clusters, singletons, cluster_members) stay on the plain object.
+    channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
+    pinned: list = []
 
-    # ------------------------------------------------------ Phase 1: order
-    with phase_scope(ctx, "ordering", phase_seconds):
-        rdd = ctx.parallelize(dataset.rankings, num_partitions)
-        ordered = order_rankings_rdd(ctx, rdd).cache()
-        by_id = ordered.key_by(lambda o: o.rid).cache()
-        by_id.count()
+    try:
+        # -------------------------------------------------- Phase 1: order
+        with phase_scope(ctx, "ordering", phase_seconds):
+            rdd = ctx.parallelize(dataset.rankings, num_partitions)
+            ordered = order_rankings_rdd(ctx, rdd).cache()
+            pinned.append(ordered)
+            by_id = ordered.key_by(lambda o: o.rid).cache()
+            pinned.append(by_id)
+            by_id.count()
 
-    # -------------------------------------------------- Phase 2: cluster
-    with phase_scope(ctx, "clustering", phase_seconds):
-        cluster_pairs = _cluster_pairs(
-            ctx, ordered, theta_c_raw, k, num_partitions, variant,
-            use_position_filter, stats,
-        ).cache()
-        clusters = _build_clusters(
-            cluster_pairs, by_id, num_partitions
-        ).cache()
-        singletons = _find_singletons(
-            cluster_pairs, by_id, num_partitions
-        ).cache()
-        stats.clusters = clusters.count()
-        stats.singletons = singletons.count()
-        stats.cluster_members = cluster_pairs.count()
-        member_member = clusters.flat_map(
-            lambda kv: _same_cluster_pairs(
-                kv[1][1], theta_raw, theta_c_raw, stats
-            )
-        )
-
-    # ----------------------------------------------------- Phase 3: join
-    with phase_scope(ctx, "joining", phase_seconds):
-        p_m = overlap_prefix_size(theta_o_raw, k)
-        if singleton_prefix == "safe":
-            p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
-        else:
-            p_s = overlap_prefix_size(theta_raw, k)
-
-        centroids = clusters.map(lambda kv: (kv[1][0], False)).union(
-            singletons.map(lambda kv: (kv[1], True))
-        )
-
-        def emit_tokens(tagged):
-            centroid, is_singleton = tagged
-            prefix = p_s if is_singleton else p_m
-            return (
-                (item, (centroid, is_singleton))
-                for item, _rank in centroid.prefix(prefix)
-            )
-
-        joined = grouped_join(
-            ctx,
-            centroids.flat_map(emit_tokens),
-            num_partitions,
-            _typed_kernel(
-                variant, p_m, p_s, theta_raw, theta_c_raw, stats,
-                use_position_filter,
-            ),
-            rs_kernel=_typed_rs_kernel(
-                theta_raw, theta_c_raw, stats, use_position_filter
-            ),
-            partition_threshold=partition_threshold,
-            stats=stats,
-            seed=seed,
-        )
-        r_join = distinct_pairs(joined, num_partitions).cache()
-        r_join.count()
-
-    # ------------------------------------------------- Phase 4: expansion
-    with phase_scope(ctx, "expansion", phase_seconds):
-        r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][3]).map(
-            lambda kv: (kv[0], kv[1][0])
-        )
-        r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][3])).cache()
-        r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
-            lambda kv: (kv[0], kv[1][0])
-        )
-
-        def direct_sides(kv):
-            (rid_i, rid_j), (d, singleton_i, other_i, singleton_j, other_j) = kv
-            if not singleton_i:
-                yield (rid_i, (other_j, d))
-            if not singleton_j:
-                yield (rid_j, (other_i, d))
-
-        r_m_directed = r_m.flat_map(direct_sides)
-        member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
-            lambda kv: _expand_member_centroid(
-                kv[1][0][1], kv[1][1], theta_raw, stats, triangle_accept
-            )
-        )
-
-        both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][3])
-        first_hop = (
-            both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
-            .join(clusters, num_partitions)
-            .flat_map(
-                lambda kv: (
-                    (kv[1][0][0], (member, dist, kv[1][0][1]))
-                    for member, dist in kv[1][1][1]
+        # ------------------------------------------------ Phase 2: cluster
+        with phase_scope(ctx, "clustering", phase_seconds):
+            cluster_pairs = _cluster_pairs(
+                ctx, ordered, theta_c_raw, k, num_partitions, variant,
+                use_position_filter, channel,
+            ).cache()
+            pinned.append(cluster_pairs)
+            clusters = _build_clusters(
+                cluster_pairs, by_id, num_partitions
+            ).cache()
+            pinned.append(clusters)
+            singletons = _find_singletons(
+                cluster_pairs, by_id, num_partitions
+            ).cache()
+            pinned.append(singletons)
+            stats.clusters = clusters.count()
+            stats.singletons = singletons.count()
+            stats.cluster_members = cluster_pairs.count()
+            member_member = clusters.flat_map(
+                lambda kv: _same_cluster_pairs(
+                    kv[1][1], theta_raw, theta_c_raw, channel
                 )
             )
-        )
-        member_member_across = first_hop.join(
-            clusters, num_partitions
-        ).flat_map(
-            lambda kv: _expand_member_member(
-                kv[1][0], kv[1][1][1], theta_raw, stats, triangle_accept
-            )
-        )
 
-        everything = (
-            cluster_pairs.union(member_member)
-            .union(r_ss)
-            .union(r_m_direct)
-            .union(member_centroid)
-            .union(member_member_across)
-        )
-        final = distinct_pairs(everything, num_partitions).collect()
+        # --------------------------------------------------- Phase 3: join
+        with phase_scope(ctx, "joining", phase_seconds):
+            p_m = overlap_prefix_size(theta_o_raw, k)
+            if singleton_prefix == "safe":
+                p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+            else:
+                p_s = overlap_prefix_size(theta_raw, k)
+
+            centroids = clusters.map(lambda kv: (kv[1][0], False)).union(
+                singletons.map(lambda kv: (kv[1], True))
+            )
+
+            def emit_tokens(tagged):
+                centroid, is_singleton = tagged
+                prefix = p_s if is_singleton else p_m
+                return (
+                    (item, (centroid, is_singleton))
+                    for item, _rank in centroid.prefix(prefix)
+                )
+
+            joined = grouped_join(
+                ctx,
+                centroids.flat_map(emit_tokens),
+                num_partitions,
+                _typed_kernel(
+                    variant, p_m, p_s, theta_raw, theta_c_raw, channel,
+                    use_position_filter,
+                ),
+                rs_kernel=_typed_rs_kernel(
+                    theta_raw, theta_c_raw, channel, use_position_filter
+                ),
+                partition_threshold=partition_threshold,
+                stats=channel,
+                seed=seed,
+                pinned=pinned,
+            )
+            r_join = distinct_pairs(joined, num_partitions).cache()
+            pinned.append(r_join)
+            r_join.count()
+
+        # ----------------------------------------------- Phase 4: expansion
+        with phase_scope(ctx, "expansion", phase_seconds):
+            r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][3]).map(
+                lambda kv: (kv[0], kv[1][0])
+            )
+            r_m = r_join.filter(
+                lambda kv: not (kv[1][1] and kv[1][3])
+            ).cache()
+            pinned.append(r_m)
+            r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+                lambda kv: (kv[0], kv[1][0])
+            )
+
+            def direct_sides(kv):
+                (rid_i, rid_j), (d, singleton_i, other_i, singleton_j,
+                                 other_j) = kv
+                if not singleton_i:
+                    yield (rid_i, (other_j, d))
+                if not singleton_j:
+                    yield (rid_j, (other_i, d))
+
+            r_m_directed = r_m.flat_map(direct_sides)
+            member_centroid = clusters.join(
+                r_m_directed, num_partitions
+            ).flat_map(
+                lambda kv: _expand_member_centroid(
+                    kv[1][0][1], kv[1][1], theta_raw, channel, triangle_accept
+                )
+            )
+
+            both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][3])
+            first_hop = (
+                both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+                .join(clusters, num_partitions)
+                .flat_map(
+                    lambda kv: (
+                        (kv[1][0][0], (member, dist, kv[1][0][1]))
+                        for member, dist in kv[1][1][1]
+                    )
+                )
+            )
+            member_member_across = first_hop.join(
+                clusters, num_partitions
+            ).flat_map(
+                lambda kv: _expand_member_member(
+                    kv[1][0], kv[1][1][1], theta_raw, channel, triangle_accept
+                )
+            )
+
+            everything = (
+                cluster_pairs.union(member_member)
+                .union(r_ss)
+                .union(r_m_direct)
+                .union(member_centroid)
+                .union(member_member_across)
+            )
+            final = distinct_pairs(everything, num_partitions).collect()
+    finally:
+        for cached in pinned:
+            cached.unpersist()
 
     results = [(i, j, d) for (i, j), d in final]
+    _check_results_counter(stats, final)
     stats.results = len(results)
     name = "cl-p" if partition_threshold is not None else "cl"
     return JoinResult(
@@ -272,6 +296,24 @@ def clp_join(
         partition_threshold=partition_threshold,
         **kwargs,
     )
+
+
+def _check_results_counter(stats: JoinStats, final: list) -> None:
+    """Cross-backend exactness check on the merged ``results`` counter.
+
+    CL kernels count every concrete (non-``None``-distance) pair they
+    produce; phases can rediscover the same pair, so the merged counter
+    must be at least the number of concrete pairs that survive
+    deduplication.  A smaller counter means worker-side counts were lost
+    — exactly the bug the accumulator channel exists to prevent (the old
+    code unconditionally overwrote the counter here, masking the loss).
+    """
+    concrete = sum(1 for _pair, d in final if d is not None)
+    if stats.results < concrete:
+        raise AssertionError(
+            f"merged results counter {stats.results} < {concrete} concrete "
+            "result pairs — worker-side counts were lost"
+        )
 
 
 # --------------------------------------------------------------- clustering
@@ -328,6 +370,7 @@ def _same_cluster_pairs(members, theta_raw, theta_c_raw, stats):
     The triangle inequality bounds their distance by ``2 * theta_c``; when
     that is within ``theta`` they are results without verification.
     """
+    stats = local_stats(stats)
     members = sorted(members, key=lambda md: md[0].rid)
     certain = 2 * theta_c_raw <= theta_raw
     for a_index, (first, _d1) in enumerate(members):
@@ -341,6 +384,7 @@ def _same_cluster_pairs(members, theta_raw, theta_c_raw, stats):
                 stats.verified += 1
                 distance = verify(first.ranking, second.ranking, theta_raw)
                 if distance is not None:
+                    stats.results += 1
                     yield (pair, distance)
 
 
@@ -363,11 +407,16 @@ def _typed_value(left, singleton_left, right, singleton_right, distance):
 
 
 def _typed_kernel(
-    variant, p_m, p_s, theta_raw, theta_c_raw, stats, use_position_filter
+    variant, p_m, p_s, theta_raw, theta_c_raw, channel, use_position_filter
 ):
-    """Per-group kernel of Algorithm 1: type-aware thresholds and prefixes."""
+    """Per-group kernel of Algorithm 1: type-aware thresholds and prefixes.
+
+    ``channel`` is a plain :class:`JoinStats` or an accumulator channel;
+    each kernel resolves its task-local delta once per group.
+    """
 
     def nested_loop(item, members):
+        stats = local_stats(channel)
         members = sorted(members, key=lambda tagged: tagged[0].rid)
         for a_index, (left, singleton_left) in enumerate(members):
             left_rank = left.ranking.rank_of(item)
@@ -385,11 +434,13 @@ def _typed_kernel(
                 stats.verified += 1
                 distance = verify(left.ranking, right.ranking, threshold)
                 if distance is not None:
+                    stats.results += 1
                     yield _typed_value(
                         left, singleton_left, right, singleton_right, distance
                     )
 
     def indexed(_item, members):
+        stats = local_stats(channel)
         members = sorted(members, key=lambda tagged: tagged[0].rid)
         index: dict = {}
         for probe, singleton_probe in members:
@@ -415,6 +466,7 @@ def _typed_kernel(
                     stats.verified += 1
                     distance = verify(probe.ranking, other.ranking, threshold)
                     if distance is not None:
+                        stats.results += 1
                         yield _typed_value(
                             probe, singleton_probe, other, singleton_other,
                             distance,
@@ -425,10 +477,11 @@ def _typed_kernel(
     return nested_loop if variant == "nl" else indexed
 
 
-def _typed_rs_kernel(theta_raw, theta_c_raw, stats, use_position_filter):
+def _typed_rs_kernel(theta_raw, theta_c_raw, channel, use_position_filter):
     """R-S kernel of Algorithm 1 for repartitioned posting lists (CL-P)."""
 
     def rs(item, left_members, right_members):
+        stats = local_stats(channel)
         for left, singleton_left in left_members:
             left_rank = left.ranking.rank_of(item)
             for right, singleton_right in right_members:
@@ -447,6 +500,7 @@ def _typed_rs_kernel(theta_raw, theta_c_raw, stats, use_position_filter):
                 stats.verified += 1
                 distance = verify(left.ranking, right.ranking, threshold)
                 if distance is not None:
+                    stats.results += 1
                     yield _typed_value(
                         left, singleton_left, right, singleton_right, distance
                     )
@@ -460,6 +514,7 @@ def _typed_rs_kernel(theta_raw, theta_c_raw, stats, use_position_filter):
 def _expand_member_centroid(members, other_with_distance, theta_raw, stats,
                             triangle_accept):
     """R_{m,c}: members of one cluster against the other pair side."""
+    stats = local_stats(stats)
     other, centroid_distance = other_with_distance
     for member, member_distance in members:
         if member.rid == other.rid:
@@ -477,11 +532,13 @@ def _expand_member_centroid(members, other_with_distance, theta_raw, stats,
         stats.verified += 1
         distance = verify(member.ranking, other.ranking, theta_raw)
         if distance is not None:
+            stats.results += 1
             yield (pair, distance)
 
 
 def _expand_member_member(hop, members, theta_raw, stats, triangle_accept):
     """R_{m,m}: members of the first cluster against members of the second."""
+    stats = local_stats(stats)
     member_i, distance_i, centroid_distance = hop
     for member_j, distance_j in members:
         if member_i.rid == member_j.rid:
@@ -502,6 +559,7 @@ def _expand_member_member(hop, members, theta_raw, stats, triangle_accept):
         stats.verified += 1
         distance = verify(member_i.ranking, member_j.ranking, theta_raw)
         if distance is not None:
+            stats.results += 1
             yield (pair, distance)
 
 
@@ -537,143 +595,165 @@ def _cl_join_compact(
     theta_c_raw = raw_threshold(theta_c, k)
     theta_o_raw = theta_raw + 2 * theta_c_raw
     stats = JoinStats()
+    # Same channel discipline as the legacy body: worker kernels count
+    # through the channel, driver-derived fields stay on the plain object.
+    channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
+    pinned: list = []
 
-    # ------------------------------------------------------ Phase 1: order
-    with phase_scope(ctx, "ordering", phase_seconds):
-        rdd = ctx.parallelize(dataset.rankings, num_partitions)
-        ordered, store, _encoder = compact_ordering(ctx, rdd)
+    try:
+        # -------------------------------------------------- Phase 1: order
+        with phase_scope(ctx, "ordering", phase_seconds):
+            rdd = ctx.parallelize(dataset.rankings, num_partitions)
+            ordered, store, _encoder = compact_ordering(ctx, rdd)
+            pinned.append(ordered)
 
-    # -------------------------------------------------- Phase 2: cluster
-    with phase_scope(ctx, "clustering", phase_seconds):
-        p_c = overlap_prefix_size(theta_c_raw, k)
-        kernel_c, rs_kernel_c = make_compact_kernels(
-            variant, theta_c_raw, store, stats, use_position_filter
-        )
-        cluster_pairs = grouped_join(
-            ctx,
-            ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p_c)),
-            num_partitions,
-            kernel_c,
-            rs_kernel_c,
-        ).cache()
-        clusters = (
-            cluster_pairs.map(lambda kv: (kv[0][0], (kv[0][1], kv[1])))
-            .group_by_key(num_partitions)
-            .cache()
-        )
-        # Centroid/singleton roles, derived once on the driver: the pair
-        # ids are a subset of the final result set (d <= theta_c <=
-        # theta), so this collect is no larger than the join's own
-        # output, and it spares the legacy path's object-shuffling
-        # subtract/join jobs.
-        pair_ids = cluster_pairs.keys().collect()
-        centroid_rids: set = set()
-        clustered_rids: set = set()
-        for rid_i, rid_j in pair_ids:
-            centroid_rids.add(rid_i)
-            clustered_rids.add(rid_i)
-            clustered_rids.add(rid_j)
-        roles = {rid: False for rid in centroid_rids}
-        for rid in store.value:
-            if rid not in clustered_rids:
-                roles[rid] = True
-        flags = ctx.broadcast(roles)
-        stats.clusters = len(centroid_rids)
-        stats.singletons = len(roles) - len(centroid_rids)
-        stats.cluster_members = len(pair_ids)
-        member_member = clusters.flat_map(
-            lambda kv: _same_cluster_pairs_compact(
-                kv[1], store, theta_raw, theta_c_raw, stats
+        # ------------------------------------------------ Phase 2: cluster
+        with phase_scope(ctx, "clustering", phase_seconds):
+            p_c = overlap_prefix_size(theta_c_raw, k)
+            kernel_c, rs_kernel_c = make_compact_kernels(
+                variant, theta_c_raw, store, channel, use_position_filter
             )
-        )
-
-    # ----------------------------------------------------- Phase 3: join
-    with phase_scope(ctx, "joining", phase_seconds):
-        p_m = overlap_prefix_size(theta_o_raw, k)
-        if singleton_prefix == "safe":
-            p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
-        else:
-            p_s = overlap_prefix_size(theta_raw, k)
-
-        def emit_typed(o):
-            is_singleton = flags.value.get(o.rid)
-            if is_singleton is None:  # member of a cluster, not a centroid
-                return
-            prefix = o.prefix(p_s if is_singleton else p_m)
-            codes = tuple(sorted(code for code, _rank in prefix))
-            rid = o.rid
-            for code, rank in prefix:
-                yield (code, (rid, rank, codes, is_singleton))
-
-        kernel_j, rs_kernel_j = make_compact_typed_kernels(
-            variant, theta_raw, theta_c_raw, store, stats, use_position_filter
-        )
-        r_join = grouped_join(
-            ctx,
-            ordered.flat_map(emit_typed),
-            num_partitions,
-            kernel_j,
-            rs_kernel=rs_kernel_j,
-            partition_threshold=partition_threshold,
-            stats=stats,
-            seed=seed,
-        ).cache()
-        r_join.count()
-
-    # ------------------------------------------------- Phase 4: expansion
-    with phase_scope(ctx, "expansion", phase_seconds):
-        r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][2]).map(
-            lambda kv: (kv[0], kv[1][0])
-        )
-        r_m = r_join.filter(lambda kv: not (kv[1][1] and kv[1][2])).cache()
-        r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
-            lambda kv: (kv[0], kv[1][0])
-        )
-
-        def direct_sides(kv):
-            (rid_i, rid_j), (d, singleton_i, singleton_j) = kv
-            if not singleton_i:
-                yield (rid_i, (rid_j, d))
-            if not singleton_j:
-                yield (rid_j, (rid_i, d))
-
-        r_m_directed = r_m.flat_map(direct_sides)
-        member_centroid = clusters.join(r_m_directed, num_partitions).flat_map(
-            lambda kv: _expand_member_centroid_compact(
-                kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
+            cluster_pairs = grouped_join(
+                ctx,
+                ordered.flat_map(partial(emit_prefix_tokens, prefix_size=p_c)),
+                num_partitions,
+                kernel_c,
+                rs_kernel_c,
+            ).cache()
+            pinned.append(cluster_pairs)
+            clusters = (
+                cluster_pairs.map(lambda kv: (kv[0][0], (kv[0][1], kv[1])))
+                .group_by_key(num_partitions)
+                .cache()
             )
-        )
-
-        both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][2])
-        first_hop = (
-            both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
-            .join(clusters, num_partitions)
-            .flat_map(
-                lambda kv: (
-                    (kv[1][0][0], (member, dist, kv[1][0][1]))
-                    for member, dist in kv[1][1]
+            pinned.append(clusters)
+            # Centroid/singleton roles, derived once on the driver: the pair
+            # ids are a subset of the final result set (d <= theta_c <=
+            # theta), so this collect is no larger than the join's own
+            # output, and it spares the legacy path's object-shuffling
+            # subtract/join jobs.
+            pair_ids = cluster_pairs.keys().collect()
+            centroid_rids: set = set()
+            clustered_rids: set = set()
+            for rid_i, rid_j in pair_ids:
+                centroid_rids.add(rid_i)
+                clustered_rids.add(rid_i)
+                clustered_rids.add(rid_j)
+            roles = {rid: False for rid in centroid_rids}
+            for rid in store.value:
+                if rid not in clustered_rids:
+                    roles[rid] = True
+            flags = ctx.broadcast(roles)
+            stats.clusters = len(centroid_rids)
+            stats.singletons = len(roles) - len(centroid_rids)
+            stats.cluster_members = len(pair_ids)
+            member_member = clusters.flat_map(
+                lambda kv: _same_cluster_pairs_compact(
+                    kv[1], store, theta_raw, theta_c_raw, channel
                 )
             )
-        )
-        member_member_across = first_hop.join(
-            clusters, num_partitions
-        ).flat_map(
-            lambda kv: _expand_member_member_compact(
-                kv[1][0], kv[1][1], store, theta_raw, stats, triangle_accept
-            )
-        )
 
-        everything = (
-            cluster_pairs.union(member_member)
-            .union(r_ss)
-            .union(r_m_direct)
-            .union(member_centroid)
-            .union(member_member_across)
-        )
-        final = distinct_pairs(everything, num_partitions).collect()
+        # --------------------------------------------------- Phase 3: join
+        with phase_scope(ctx, "joining", phase_seconds):
+            p_m = overlap_prefix_size(theta_o_raw, k)
+            if singleton_prefix == "safe":
+                p_s = overlap_prefix_size(theta_raw + theta_c_raw, k)
+            else:
+                p_s = overlap_prefix_size(theta_raw, k)
+
+            def emit_typed(o):
+                is_singleton = flags.value.get(o.rid)
+                if is_singleton is None:  # member of a cluster, not a centroid
+                    return
+                prefix = o.prefix(p_s if is_singleton else p_m)
+                codes = tuple(sorted(code for code, _rank in prefix))
+                rid = o.rid
+                for code, rank in prefix:
+                    yield (code, (rid, rank, codes, is_singleton))
+
+            kernel_j, rs_kernel_j = make_compact_typed_kernels(
+                variant, theta_raw, theta_c_raw, store, channel,
+                use_position_filter,
+            )
+            r_join = grouped_join(
+                ctx,
+                ordered.flat_map(emit_typed),
+                num_partitions,
+                kernel_j,
+                rs_kernel=rs_kernel_j,
+                partition_threshold=partition_threshold,
+                stats=channel,
+                seed=seed,
+                pinned=pinned,
+            ).cache()
+            pinned.append(r_join)
+            r_join.count()
+
+        # ----------------------------------------------- Phase 4: expansion
+        with phase_scope(ctx, "expansion", phase_seconds):
+            r_ss = r_join.filter(lambda kv: kv[1][1] and kv[1][2]).map(
+                lambda kv: (kv[0], kv[1][0])
+            )
+            r_m = r_join.filter(
+                lambda kv: not (kv[1][1] and kv[1][2])
+            ).cache()
+            pinned.append(r_m)
+            r_m_direct = r_m.filter(lambda kv: kv[1][0] <= theta_raw).map(
+                lambda kv: (kv[0], kv[1][0])
+            )
+
+            def direct_sides(kv):
+                (rid_i, rid_j), (d, singleton_i, singleton_j) = kv
+                if not singleton_i:
+                    yield (rid_i, (rid_j, d))
+                if not singleton_j:
+                    yield (rid_j, (rid_i, d))
+
+            r_m_directed = r_m.flat_map(direct_sides)
+            member_centroid = clusters.join(
+                r_m_directed, num_partitions
+            ).flat_map(
+                lambda kv: _expand_member_centroid_compact(
+                    kv[1][0], kv[1][1], store, theta_raw, channel,
+                    triangle_accept,
+                )
+            )
+
+            both_m = r_m.filter(lambda kv: not kv[1][1] and not kv[1][2])
+            first_hop = (
+                both_m.map(lambda kv: (kv[0][0], (kv[0][1], kv[1][0])))
+                .join(clusters, num_partitions)
+                .flat_map(
+                    lambda kv: (
+                        (kv[1][0][0], (member, dist, kv[1][0][1]))
+                        for member, dist in kv[1][1]
+                    )
+                )
+            )
+            member_member_across = first_hop.join(
+                clusters, num_partitions
+            ).flat_map(
+                lambda kv: _expand_member_member_compact(
+                    kv[1][0], kv[1][1], store, theta_raw, channel,
+                    triangle_accept,
+                )
+            )
+
+            everything = (
+                cluster_pairs.union(member_member)
+                .union(r_ss)
+                .union(r_m_direct)
+                .union(member_centroid)
+                .union(member_member_across)
+            )
+            final = distinct_pairs(everything, num_partitions).collect()
+    finally:
+        for cached in pinned:
+            cached.unpersist()
 
     results = [(i, j, d) for (i, j), d in final]
+    _check_results_counter(stats, final)
     stats.results = len(results)
     name = "cl-p" if partition_threshold is not None else "cl"
     return JoinResult(
@@ -688,6 +768,7 @@ def _cl_join_compact(
 
 def _same_cluster_pairs_compact(members, store, theta_raw, theta_c_raw, stats):
     """Compact member-member pairs of one cluster (rids only, store verify)."""
+    stats = local_stats(stats)
     members = sorted(members)
     certain = 2 * theta_c_raw <= theta_raw
     lookup = store.value
@@ -704,6 +785,7 @@ def _same_cluster_pairs_compact(members, store, theta_raw, theta_c_raw, stats):
                     lookup[first].ranking, lookup[second].ranking, theta_raw
                 )
                 if distance is not None:
+                    stats.results += 1
                     yield (pair, distance)
 
 
@@ -711,6 +793,7 @@ def _expand_member_centroid_compact(
     members, other_with_distance, store, theta_raw, stats, triangle_accept
 ):
     """Compact R_{m,c}: members (rids) of one cluster vs. the other side."""
+    stats = local_stats(stats)
     other, centroid_distance = other_with_distance
     lookup = store.value
     for member, member_distance in members:
@@ -730,6 +813,7 @@ def _expand_member_centroid_compact(
             lookup[member].ranking, lookup[other].ranking, theta_raw
         )
         if distance is not None:
+            stats.results += 1
             yield (pair, distance)
 
 
@@ -737,6 +821,7 @@ def _expand_member_member_compact(
     hop, members, store, theta_raw, stats, triangle_accept
 ):
     """Compact R_{m,m}: first-cluster member (rid) vs. second's members."""
+    stats = local_stats(stats)
     member_i, distance_i, centroid_distance = hop
     lookup = store.value
     for member_j, distance_j in members:
@@ -759,4 +844,5 @@ def _expand_member_member_compact(
             lookup[member_i].ranking, lookup[member_j].ranking, theta_raw
         )
         if distance is not None:
+            stats.results += 1
             yield (pair, distance)

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from ..minispark.accumulators import local_stats
 from ..minispark.context import Broadcast, Context
 from ..rankings.bounds import position_filter_bound
 from ..rankings.encoding import ItemEncoder, encode_ordered, encode_rank_ordered
@@ -163,6 +164,7 @@ def compact_group_indexed(
     full rankings are fetched from ``store`` only for pairs that survive
     the rarest-item ownership check.
     """
+    stats = local_stats(stats)
     members = sorted(members)
     index: dict = {}
     for token in members:
@@ -204,6 +206,7 @@ def compact_group_nested_loop(
     use_position_filter: bool = True,
 ):
     """Compact VJ-NL kernel: nested loop with the carried key-item ranks."""
+    stats = local_stats(stats)
     members = sorted(members)
     bound = position_filter_bound(theta_raw)
     for a_index, (rid_a, rank_a, codes_a) in enumerate(members):
@@ -235,6 +238,7 @@ def compact_groups_rs(
     use_position_filter: bool = True,
 ):
     """Compact R-S kernel between two sub-partitions of a split group."""
+    stats = local_stats(stats)
     bound = position_filter_bound(theta_raw)
     for rid_a, rank_a, codes_a in left_members:
         left = None
@@ -305,7 +309,7 @@ def make_compact_typed_kernels(
     theta_raw: float,
     theta_c_raw: float,
     store: Broadcast,
-    stats: JoinStats,
+    channel,
     use_position_filter: bool,
 ):
     """Algorithm 1's type-aware kernels over slim typed tokens.
@@ -313,10 +317,14 @@ def make_compact_typed_kernels(
     Tokens are ``(rid, key_rank, codes, is_singleton)``; output records
     are ``((rid_i, rid_j), (distance, singleton_i, singleton_j))`` with
     ascending ids — the objects the legacy records carried are resolved
-    from the store during expansion instead.
+    from the store during expansion instead.  ``channel`` is a plain
+    :class:`JoinStats` or an accumulator channel; each kernel resolves
+    its task-local delta once per group.
     """
 
     def nested_loop(item, members):
+        # Generator: resolved at first next(), inside the task's scope.
+        stats = local_stats(channel)
         members = sorted(members)
         lookup = store.value
         for a_index, (rid_a, rank_a, codes_a, singleton_a) in enumerate(
@@ -340,11 +348,13 @@ def make_compact_typed_kernels(
                     lookup[rid_a].ranking, lookup[rid_b].ranking, threshold
                 )
                 if distance is not None:
+                    stats.results += 1
                     yield _compact_typed_value(
                         rid_a, singleton_a, rid_b, singleton_b, distance
                     )
 
     def indexed(item, members):
+        stats = local_stats(channel)
         members = sorted(members)
         lookup = store.value
         index: dict = {}
@@ -381,6 +391,7 @@ def make_compact_typed_kernels(
                         threshold,
                     )
                     if distance is not None:
+                        stats.results += 1
                         yield _compact_typed_value(
                             rid_probe, singleton_probe, rid_other,
                             singleton_other, distance,
@@ -389,6 +400,7 @@ def make_compact_typed_kernels(
                 index.setdefault(code, []).append(token)
 
     def rs(item, left_members, right_members):
+        stats = local_stats(channel)
         lookup = store.value
         for rid_a, rank_a, codes_a, singleton_a in left_members:
             for rid_b, rank_b, codes_b, singleton_b in right_members:
@@ -411,6 +423,7 @@ def make_compact_typed_kernels(
                     lookup[rid_a].ranking, lookup[rid_b].ranking, threshold
                 )
                 if distance is not None:
+                    stats.results += 1
                     yield _compact_typed_value(
                         rid_a, singleton_a, rid_b, singleton_b, distance
                     )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from ..minispark.accumulators import local_stats
 from ..minispark.context import Context
 from ..minispark.partitioner import HashPartitioner
 from ..minispark.rdd import RDD
@@ -38,8 +39,9 @@ def grouped_join(
     rs_kernel: Callable | None = None,
     partition_threshold: int | None = None,
     split_partition_factor: int = 2,
-    stats: JoinStats | None = None,
+    stats=None,
     seed: int = 0,
+    pinned: list | None = None,
 ) -> RDD:
     """Group prefix tokens by item and join inside each group.
 
@@ -57,6 +59,14 @@ def grouped_join(
     split_partition_factor:
         How much to increase the partition count for the redistributed
         sub-partitions ("... and increase the number of partitions").
+    stats:
+        A :class:`JoinStats` or an accumulator channel
+        (:meth:`Context.stats_channel`) receiving the repartitioning
+        counter; the channel form is exact on every executor backend.
+    pinned:
+        When given, every RDD this function caches is appended so the
+        caller can unpersist them once the returned RDD has been
+        consumed (the caches outlive this call by design).
     """
     grouped = tokens.group_by_key(num_partitions)
     if partition_threshold is None:
@@ -72,6 +82,8 @@ def grouped_join(
     delta = partition_threshold
 
     grouped = grouped.cache()
+    if pinned is not None:
+        pinned.append(grouped)
     small = grouped.filter(lambda kv: len(kv[1]) <= delta)
     large = grouped.filter(lambda kv: len(kv[1]) > delta)
 
@@ -80,7 +92,11 @@ def grouped_join(
     def split_group(kv):
         """One oversized posting list -> sub-partitions of <= delta members."""
         item, members = kv
-        stats.repartitioned_groups += 1
+        # Runs inside a worker task: count through the accumulator
+        # channel's task-local delta, never a shared driver object —
+        # a direct increment here was lost on the processes backend and
+        # double-counted when shuffle loss forced a lineage recompute.
+        local_stats(stats).repartitioned_groups += 1
         rng = random.Random(f"{seed}:{item}")
         members = list(members)
         rng.shuffle(members)
@@ -95,6 +111,8 @@ def grouped_join(
         .partition_by(HashPartitioner(num_partitions * split_partition_factor))
         .cache()
     )
+    if pinned is not None:
+        pinned.append(sub_partitions)
 
     results_within = sub_partitions.flat_map(
         lambda kv: kernel(kv[0][0], kv[1])

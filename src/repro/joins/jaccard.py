@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from time import perf_counter
 
+from ..minispark.accumulators import local_stats
 from ..minispark.context import Context
 from ..minispark.tracing import phase_scope
 from ..rankings.bounds import jaccard_prefix_size
@@ -93,56 +94,75 @@ def jaccard_join(
     num_partitions = num_partitions or ctx.default_parallelism
     prefix = jaccard_prefix_size(theta, dataset.k)
     stats = JoinStats()
+    channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
+    pinned: list = []
 
-    with phase_scope(ctx, "ordering", phase_seconds):
-        rdd = ctx.parallelize(dataset.rankings, num_partitions)
-        ordered = order_rankings_rdd(ctx, rdd)
+    try:
+        with phase_scope(ctx, "ordering", phase_seconds):
+            rdd = ctx.parallelize(dataset.rankings, num_partitions)
+            ordered = order_rankings_rdd(ctx, rdd)
 
-    with phase_scope(ctx, "join", phase_seconds):
-        tokens = ordered.flat_map(
-            lambda o: ((item, o) for item, _rank in o.prefix(prefix))
+        with phase_scope(ctx, "join", phase_seconds):
+            tokens = ordered.flat_map(
+                lambda o: ((item, o) for item, _rank in o.prefix(prefix))
+            )
+
+            def kernel(_item, members):
+                stats = local_stats(channel)
+                members = sorted(members, key=lambda o: o.rid)
+                for a_index, left in enumerate(members):
+                    for right in members[a_index + 1 :]:
+                        stats.candidates += 1
+                        stats.verified += 1
+                        distance = _jaccard_within(
+                            left.ranking, right.ranking, theta
+                        )
+                        if distance is not None:
+                            stats.results += 1
+                            yield canonical_pair(left.rid, right.rid), distance
+
+            def rs_kernel(_item, left_members, right_members):
+                stats = local_stats(channel)
+                for left in left_members:
+                    for right in right_members:
+                        if left.rid == right.rid:
+                            continue
+                        stats.candidates += 1
+                        stats.verified += 1
+                        distance = _jaccard_within(
+                            left.ranking, right.ranking, theta
+                        )
+                        if distance is not None:
+                            stats.results += 1
+                            yield canonical_pair(left.rid, right.rid), distance
+
+            pairs = grouped_join(
+                ctx,
+                tokens,
+                num_partitions,
+                kernel,
+                rs_kernel=rs_kernel,
+                partition_threshold=partition_threshold,
+                stats=channel,
+                seed=seed,
+                pinned=pinned,
+            )
+            results = [
+                (i, j, d)
+                for (i, j), d in distinct_pairs(pairs, num_partitions).collect()
+            ]
+    finally:
+        for cached in pinned:
+            cached.unpersist()
+    # The same pair is found under every shared prefix item; kernels count
+    # each discovery and deduplication keeps one, so a merged counter
+    # below the result count means worker-side counts were lost.
+    if stats.results < len(results):
+        raise AssertionError(
+            f"merged results counter {stats.results} < collected "
+            f"{len(results)} pairs — worker-side counts were lost"
         )
-
-        def kernel(_item, members):
-            members = sorted(members, key=lambda o: o.rid)
-            for a_index, left in enumerate(members):
-                for right in members[a_index + 1 :]:
-                    stats.candidates += 1
-                    stats.verified += 1
-                    distance = _jaccard_within(
-                        left.ranking, right.ranking, theta
-                    )
-                    if distance is not None:
-                        yield canonical_pair(left.rid, right.rid), distance
-
-        def rs_kernel(_item, left_members, right_members):
-            for left in left_members:
-                for right in right_members:
-                    if left.rid == right.rid:
-                        continue
-                    stats.candidates += 1
-                    stats.verified += 1
-                    distance = _jaccard_within(
-                        left.ranking, right.ranking, theta
-                    )
-                    if distance is not None:
-                        yield canonical_pair(left.rid, right.rid), distance
-
-        pairs = grouped_join(
-            ctx,
-            tokens,
-            num_partitions,
-            kernel,
-            rs_kernel=rs_kernel,
-            partition_threshold=partition_threshold,
-            stats=stats,
-            seed=seed,
-        )
-        results = [
-            (i, j, d)
-            for (i, j), d in distinct_pairs(pairs, num_partitions).collect()
-        ]
     stats.results = len(results)
     return JoinResult(
         pairs=results,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from time import perf_counter
 
+from ..minispark.accumulators import local_stats
 from ..rankings.bounds import (
     admits_disjoint_pairs,
     overlap_prefix_size,
@@ -146,6 +147,7 @@ def join_group_indexed(
     ``members`` are :class:`OrderedRanking` objects that all share the
     group's key item.  Yields ``((rid_i, rid_j), distance)`` results.
     """
+    stats = local_stats(stats)
     members = sorted(members, key=lambda o: o.rid)
     index: dict = {}
     for probe in members:
@@ -184,6 +186,7 @@ def join_group_nested_loop(
     Every member contains ``key_item`` in its prefix; the cheap O(1)
     position check on that item runs before the (early-exit) verification.
     """
+    stats = local_stats(stats)
     members = sorted(members, key=lambda o: o.rid)
     bound = position_filter_bound(theta_raw)
     for a_index, left in enumerate(members):
@@ -211,6 +214,7 @@ def join_groups_rs(
     use_position_filter: bool = True,
 ):
     """R-S kernel between two sub-partitions of one split posting list."""
+    stats = local_stats(stats)
     bound = position_filter_bound(theta_raw)
     for left in left_members:
         left_rank = left.ranking.rank_of(key_item)

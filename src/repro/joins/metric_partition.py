@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 
+from ..minispark.accumulators import local_stats
 from ..minispark.context import Context
 from ..minispark.tracing import phase_scope
 from ..rankings.bounds import raw_threshold
@@ -58,6 +59,7 @@ def metric_partition_join(
     num_centroids = min(num_centroids, len(dataset))
     theta_raw = raw_threshold(theta, dataset.k)
     stats = JoinStats()
+    channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
 
     # ---- Partitioning stage: pick centroids, route every ranking.
@@ -99,28 +101,42 @@ def metric_partition_join(
         replicas = regions.map(lambda kv: len(kv[1])).sum()
 
     # ---- Join stage: nested loop per region, home pairs + border pairs.
-    with phase_scope(ctx, "join", phase_seconds):
+    try:
+        with phase_scope(ctx, "join", phase_seconds):
 
-        def join_region(kv):
-            _index, members = kv
-            members = sorted(members, key=lambda member: member[0].rid)
-            for a_index, (left, left_home) in enumerate(members):
-                for right, right_home in members[a_index + 1 :]:
-                    # Avoid pure border-border duplicates: at least one
-                    # side must be at home here, or the pair is found
-                    # elsewhere.
-                    if not (left_home or right_home):
-                        continue
-                    stats.candidates += 1
-                    stats.verified += 1
-                    distance = verify(left, right, theta_raw)
-                    if distance is not None:
-                        yield (canonical_pair(left.rid, right.rid), distance)
+            def join_region(kv):
+                stats = local_stats(channel)
+                _index, members = kv
+                members = sorted(members, key=lambda member: member[0].rid)
+                for a_index, (left, left_home) in enumerate(members):
+                    for right, right_home in members[a_index + 1 :]:
+                        # Avoid pure border-border duplicates: at least one
+                        # side must be at home here, or the pair is found
+                        # elsewhere.
+                        if not (left_home or right_home):
+                            continue
+                        stats.candidates += 1
+                        stats.verified += 1
+                        distance = verify(left, right, theta_raw)
+                        if distance is not None:
+                            stats.results += 1
+                            yield (
+                                canonical_pair(left.rid, right.rid), distance
+                            )
 
-        pairs = regions.flat_map(join_region)
-        unique = pairs.reduce_by_key(lambda a, _b: a, num_partitions)
-        results = [(i, j, d) for (i, j), d in unique.collect()]
+            pairs = regions.flat_map(join_region)
+            unique = pairs.reduce_by_key(lambda a, _b: a, num_partitions)
+            results = [(i, j, d) for (i, j), d in unique.collect()]
+    finally:
+        regions.unpersist()
 
+    # A pair can be joined in both endpoints' home regions; the kernels
+    # count each discovery, deduplication keeps one.
+    if stats.results < len(results):
+        raise AssertionError(
+            f"merged results counter {stats.results} < collected "
+            f"{len(results)} pairs — worker-side counts were lost"
+        )
     stats.results = len(results)
     stats.cluster_members = replicas
     stats.clusters = num_centroids

@@ -14,6 +14,7 @@ their composition on the distance, the filter decision, and every
 
 from __future__ import annotations
 
+from ..minispark.accumulators import local_stats
 from ..rankings.bounds import position_filter_bound
 from ..rankings.ranking import Ranking
 from .types import JoinStats
@@ -123,8 +124,14 @@ def check_pair(
 ) -> int | None:
     """Filter-then-verify one candidate pair, updating ``stats``.
 
+    ``stats`` may be a plain :class:`JoinStats` (driver-side callers,
+    unit tests) or an accumulator channel — worker-side callers pass the
+    channel so the counts survive retries, speculation, and forked
+    executors exactly once.
+
     Returns the raw distance for results, ``None`` otherwise.
     """
+    stats = local_stats(stats)
     stats.candidates += 1
     distance, filtered = fused_filter_verify(
         tau, sigma, theta_raw, use_position_filter

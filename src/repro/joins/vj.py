@@ -93,56 +93,86 @@ def vj_join(
         return bruteforce_join(dataset, theta)
     p = prefix_size_for(prefix, theta_raw, dataset.k)
     stats = JoinStats()
+    # Worker-side kernels count through the channel so every counter is
+    # exact on all executor backends; `stats` is the channel's merged
+    # driver-side value.
+    channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
+    pinned: list = []
 
-    with phase_scope(ctx, "ordering", phase_seconds):
-        rdd = ctx.parallelize(dataset.rankings, num_partitions)
-        if token_format == "compact":
-            ordered, store, _encoder = compact_ordering(ctx, rdd, prefix)
-        else:
-            ordered = order_rankings_rdd(ctx, rdd, prefix)
+    try:
+        with phase_scope(ctx, "ordering", phase_seconds):
+            rdd = ctx.parallelize(dataset.rankings, num_partitions)
+            if token_format == "compact":
+                ordered, store, _encoder = compact_ordering(ctx, rdd, prefix)
+                pinned.append(ordered)
+            else:
+                ordered = order_rankings_rdd(ctx, rdd, prefix)
 
-    with phase_scope(ctx, "join", phase_seconds):
-        if token_format == "compact":
-            tokens = ordered.flat_map(
-                partial(emit_prefix_tokens, prefix_size=p)
+        with phase_scope(ctx, "join", phase_seconds):
+            if token_format == "compact":
+                tokens = ordered.flat_map(
+                    partial(emit_prefix_tokens, prefix_size=p)
+                )
+                kernel, rs_kernel = make_compact_kernels(
+                    variant, theta_raw, store, channel, use_position_filter
+                )
+            else:
+                tokens = ordered.flat_map(
+                    lambda o: ((item, o) for item, _rank in o.prefix(p))
+                )
+                kernel, rs_kernel = make_kernels(
+                    variant, p, theta_raw, channel, use_position_filter
+                )
+            pairs = grouped_join(
+                ctx,
+                tokens,
+                num_partitions,
+                kernel,
+                rs_kernel=rs_kernel,
+                partition_threshold=partition_threshold,
+                stats=channel,
+                seed=seed,
+                pinned=pinned,
             )
-            kernel, rs_kernel = make_compact_kernels(
-                variant, theta_raw, store, stats, use_position_filter
-            )
-        else:
-            tokens = ordered.flat_map(
-                lambda o: ((item, o) for item, _rank in o.prefix(p))
-            )
-            kernel, rs_kernel = make_kernels(
-                variant, p, theta_raw, stats, use_position_filter
-            )
-        pairs = grouped_join(
-            ctx,
-            tokens,
-            num_partitions,
-            kernel,
-            rs_kernel=rs_kernel,
-            partition_threshold=partition_threshold,
-            stats=stats,
-            seed=seed,
-        )
-        if token_format == "legacy" or oracle_distinct:
-            # The rarest-item rule makes this shuffle a no-op on the
-            # compact path; oracle_distinct keeps it as a property-test
-            # oracle.
-            pairs = distinct_pairs(pairs, num_partitions)
-        # The grouping shuffle and the verification kernels run inside
-        # one action; materializing the shuffle first splits the paper's
-        # "group" and "verify" work into separately traced sub-phases
-        # (trace-only: ``phase_seconds["join"]`` still covers both, so
-        # JoinResult.total_seconds does not double-count).
-        with phase_scope(ctx, "group"):
-            ctx.scheduler.materialize(pairs, "vj-group")
-        with phase_scope(ctx, "verify"):
-            results = [(i, j, d) for (i, j), d in pairs.collect()]
+            if token_format == "legacy" or oracle_distinct:
+                # The rarest-item rule makes this shuffle a no-op on the
+                # compact path; oracle_distinct keeps it as a property-test
+                # oracle.
+                pairs = distinct_pairs(pairs, num_partitions)
+            # The grouping shuffle and the verification kernels run inside
+            # one action; materializing the shuffle first splits the paper's
+            # "group" and "verify" work into separately traced sub-phases
+            # (trace-only: ``phase_seconds["join"]`` still covers both, so
+            # JoinResult.total_seconds does not double-count).
+            with phase_scope(ctx, "group"):
+                ctx.scheduler.materialize(pairs, "vj-group")
+            with phase_scope(ctx, "verify"):
+                results = [(i, j, d) for (i, j), d in pairs.collect()]
+    finally:
+        for cached in pinned:
+            cached.unpersist()
 
-    stats.results = len(results)
+    if token_format == "compact":
+        # The rarest-item rule generates each result pair exactly once,
+        # so the merged worker-side counter must equal the collected
+        # result count — this is the cross-backend exactness invariant
+        # (the old code clobbered the counter here, hiding its loss on
+        # the processes backend).
+        if stats.results != len(results):
+            raise AssertionError(
+                f"merged results counter {stats.results} != collected "
+                f"{len(results)} pairs — accumulator channel is broken"
+            )
+    else:
+        # Legacy tokens find the same pair under several shared items;
+        # the kernels count each discovery, deduplication keeps one.
+        if stats.results < len(results):
+            raise AssertionError(
+                f"merged results counter {stats.results} < collected "
+                f"{len(results)} pairs — worker-side counts were lost"
+            )
+        stats.results = len(results)
     name = "vj" if variant == "index" else "vj-nl"
     if partition_threshold is not None:
         name += "+repartition"

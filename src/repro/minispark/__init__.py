@@ -6,6 +6,7 @@ broadcast variables, per-task timing, and a cluster cost model that replays
 measured task durations onto a configurable ``executors x cores`` shape.
 """
 
+from .accumulators import StatsChannel, local_stats
 from .chaos import (
     CHAOS_KILL_EXIT_CODE,
     ChaosError,
@@ -70,8 +71,10 @@ __all__ = [
     "RangePartitioner",
     "Span",
     "StageMetrics",
+    "StatsChannel",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "local_stats",
     "phase_scope",
     "portable_hash",
 ]

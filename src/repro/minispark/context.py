@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Iterable
+import weakref
+from typing import Callable, Iterable
 
+from .accumulators import StatsChannel
 from .chaos import FaultPlan, RetryPolicy, SpeculationPolicy
 from .cluster import ClusterConfig, ClusterModel, CostModel
 from .executors import TaskExecutor, make_executor
@@ -154,6 +156,14 @@ class Context:
         self.tracer = make_tracer(tracer)
         self.scheduler = Scheduler(self)
         self.metrics = MetricsCollector()
+        #: Live accumulator channels, by id — weak so a channel vanishes
+        #: with the join that created it (its value object outlives it).
+        self.stats_channels: weakref.WeakValueDictionary = (
+            weakref.WeakValueDictionary()
+        )
+        #: Every RDD ever cached on this context, for leak accounting —
+        #: weak so unreferenced lineage graphs can still be collected.
+        self._cached_rdds: weakref.WeakSet = weakref.WeakSet()
 
     def parallelize(
         self, data: Iterable, num_partitions: int | None = None
@@ -176,6 +186,38 @@ class Context:
 
     def accumulator(self, initial=0) -> Accumulator:
         return Accumulator(initial)
+
+    def stats_channel(self, create: Callable, value=None) -> StatsChannel:
+        """Create an exact worker-side counter channel (Spark accumulator).
+
+        ``create`` builds empty delta objects (any type with a
+        field-wise ``merge(other)``); ``value`` optionally supplies the
+        driver-side object the winning deltas merge into, so callers can
+        keep a direct reference to the merged result.  Unlike
+        :class:`Accumulator`, increments made inside tasks are exact on
+        every backend — forked workers ship their deltas back through
+        ``TaskOutcome``, and the scheduler merges only winning attempts,
+        once per logical partition (see
+        :mod:`repro.minispark.accumulators`).
+        """
+        channel = StatsChannel(create, value)
+        self.stats_channels[channel.channel_id] = channel
+        return channel
+
+    def register_cached_rdd(self, rdd: RDD) -> None:
+        """Track an RDD whose partitions may be pinned (``cache()`` hook)."""
+        self._cached_rdds.add(rdd)
+
+    def cached_partition_count(self) -> int:
+        """How many partitions are pinned in memory right now.
+
+        Joins unpersist their intermediate caches on completion; this
+        returning zero after a join is the no-leak invariant the test
+        suite checks.
+        """
+        return sum(
+            len(rdd._cache_store) for rdd in self._cached_rdds if rdd._cached
+        )
 
     def degrade_executor(self, name: str, reason: str = "") -> None:
         """Swap the task backend for a simpler one after repeated failure.

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from time import perf_counter, sleep, thread_time
 from typing import Callable, Sequence
 
+from .accumulators import begin_attempt, end_attempt
 from .chaos import (
     CHAOS_KILL_EXIT_CODE,
     ChaosError,
@@ -77,7 +78,14 @@ class TaskOutcome:
     forked workers are directly comparable to driver timestamps),
     ``attempt_cpu_seconds`` (per-attempt ``thread_time`` CPU deltas), and
     ``attempt_failed`` let the scheduler synthesize task/attempt trace
-    spans after the fact, on any backend.  The recovery fields record
+    spans after the fact, on any backend.  ``attempt_stats`` carries one
+    accumulator-delta registry per attempt (see
+    :mod:`~repro.minispark.accumulators`): the scheduler merges only the
+    winning attempt's deltas into the driver-side channels and records
+    the rest as discarded, which is what makes worker-side counters
+    exact under retries and speculation.  ``discarded_stats`` collects
+    delta registries from speculation losers whose outcome itself never
+    becomes the task's result.  The recovery fields record
     what it took to get the value: injected chaos faults, seconds slept
     in retry backoff, whether a speculative duplicate was launched / won,
     and how many worker respawns the task caused on the processes
@@ -89,6 +97,8 @@ class TaskOutcome:
     attempt_windows: list = field(default_factory=list)
     attempt_cpu_seconds: list = field(default_factory=list)
     attempt_failed: list = field(default_factory=list)
+    attempt_stats: list = field(default_factory=list)
+    discarded_stats: list = field(default_factory=list)
     failures: int = 0
     error: BaseException | None = None
     backoff_seconds: float = 0.0
@@ -124,6 +134,7 @@ def run_task_with_retries(
         number = attempt_base + attempt
         start = perf_counter()
         cpu_start = thread_time()
+        token = begin_attempt()
         try:
             if policy.chaos is not None:
                 delay = policy.chaos.straggler_delay(policy.stage, index, number)
@@ -136,7 +147,7 @@ def run_task_with_retries(
                     )
             value = compute()
         except Exception as exc:
-            _close_attempt(outcome, start, cpu_start, failed=True)
+            _close_attempt(outcome, start, cpu_start, failed=True, token=token)
             outcome.failures += 1
             if isinstance(exc, ChaosError):
                 outcome.chaos_faults += 1
@@ -148,19 +159,20 @@ def run_task_with_retries(
                 outcome.backoff_seconds += backoff
                 sleep(backoff)
         else:
-            _close_attempt(outcome, start, cpu_start, failed=False)
+            _close_attempt(outcome, start, cpu_start, failed=False, token=token)
             outcome.value = value
             return outcome
     raise AssertionError("unreachable")
 
 
-def _close_attempt(outcome, start, cpu_start, failed) -> None:
+def _close_attempt(outcome, start, cpu_start, failed, token) -> None:
     """Record one finished attempt's wall window, CPU time, and status."""
     end = perf_counter()
     outcome.attempt_seconds.append(end - start)
     outcome.attempt_windows.append((start, end))
     outcome.attempt_cpu_seconds.append(max(0.0, thread_time() - cpu_start))
     outcome.attempt_failed.append(failed)
+    outcome.attempt_stats.append(end_attempt(token))
 
 
 def default_max_workers() -> int:
@@ -312,6 +324,17 @@ class ThreadTaskExecutor(TaskExecutor):
                             run_task_with_retries, tasks[i], policy, i,
                             policy.speculative_attempt_base(),
                         )
+        # Pool shutdown waited for every attempt, so the losing side of
+        # each duplicated task is finished too: hand its accumulator
+        # deltas to the winner so the scheduler can record them as
+        # discarded instead of silently dropping (or worse, merging)
+        # them.
+        for i, copy in copies.items():
+            chosen = outcomes[i]
+            for future in (primary[i], copy):
+                loser = future.result()
+                if loser is not chosen:
+                    chosen.discarded_stats.extend(loser.attempt_stats)
         return outcomes
 
 
@@ -470,7 +493,23 @@ class ProcessTaskExecutor(TaskExecutor):
                     else:
                         if outcomes[index] is None:
                             outcome.speculated = index in copies
+                            copy = copies.get(index)
+                            if copy is not None and copy.done():
+                                # A duplicate finished (and lost, or
+                                # failed) before the worker's own result
+                                # arrived: keep its deltas as discarded.
+                                loser = copy.result()
+                                if loser is not outcome:
+                                    outcome.discarded_stats.extend(
+                                        loser.attempt_stats
+                                    )
                             outcomes[index] = outcome
+                        else:
+                            # The speculative copy already won; the
+                            # worker's late result is the loser.
+                            outcomes[index].discarded_stats.extend(
+                                outcome.attempt_stats
+                            )
                         if index == expected:
                             pos += 1
                             current_start = perf_counter()
@@ -535,22 +574,23 @@ def _forked_worker(conn, tasks, indices, policy, restarts):
             try:
                 conn.send((index, outcome))
             except Exception as exc:  # unpicklable result or error
-                conn.send(
-                    (
-                        index,
-                        TaskOutcome(
-                            failures=outcome.failures,
-                            attempt_seconds=outcome.attempt_seconds,
-                            attempt_windows=outcome.attempt_windows,
-                            attempt_cpu_seconds=outcome.attempt_cpu_seconds,
-                            attempt_failed=outcome.attempt_failed,
-                            error=RuntimeError(
-                                "task result could not be sent back from "
-                                f"the worker process: {exc!r}"
-                            ),
-                        ),
-                    )
+                fallback = TaskOutcome(
+                    failures=outcome.failures,
+                    attempt_seconds=outcome.attempt_seconds,
+                    attempt_windows=outcome.attempt_windows,
+                    attempt_cpu_seconds=outcome.attempt_cpu_seconds,
+                    attempt_failed=outcome.attempt_failed,
+                    attempt_stats=outcome.attempt_stats,
+                    error=RuntimeError(
+                        "task result could not be sent back from "
+                        f"the worker process: {exc!r}"
+                    ),
                 )
+                try:
+                    conn.send((index, fallback))
+                except Exception:  # the deltas themselves are unpicklable
+                    fallback.attempt_stats = []
+                    conn.send((index, fallback))
     finally:
         conn.close()
 

@@ -76,6 +76,10 @@ class StageMetrics:
     speculative_launched: int = 0  # tasks that got a duplicate attempt
     speculative_wins: int = 0  # duplicates that finished first
     worker_respawns: int = 0  # dead workers respawned (processes backend)
+    # --- accumulator channel (see repro.minispark.accumulators) ------
+    stats_deltas_merged: int = 0  # winning-attempt deltas folded in
+    stats_deltas_deduped: int = 0  # repeats of an already-merged scope
+    stats_deltas_discarded: int = 0  # failed attempts + speculation losers
 
     @property
     def num_tasks(self) -> int:
@@ -201,6 +205,18 @@ class JobMetrics:
     def total_worker_respawns(self) -> int:
         return sum(s.worker_respawns for s in self.stages)
 
+    @property
+    def total_stats_deltas_merged(self) -> int:
+        return sum(s.stats_deltas_merged for s in self.stages)
+
+    @property
+    def total_stats_deltas_deduped(self) -> int:
+        return sum(s.stats_deltas_deduped for s in self.stages)
+
+    @property
+    def total_stats_deltas_discarded(self) -> int:
+        return sum(s.stats_deltas_discarded for s in self.stages)
+
     def merge(self, other: "JobMetrics") -> None:
         """Append another job's stages (used to aggregate multi-job algorithms)."""
         self.stages.extend(other.stages)
@@ -249,6 +265,11 @@ class MetricsCollector:
             "speculative_wins": total.total_speculative_wins,
             "worker_respawns": total.total_worker_respawns,
             "stages_recomputed": total.stages_recomputed,
+            # Counter deltas thrown away because their attempt lost
+            # (failed or was out-speculated) — dedup of recomputed
+            # scopes is *not* listed here because a fault-free
+            # processes run legitimately recomputes cached partitions.
+            "stats_deltas_discarded": total.total_stats_deltas_discarded,
             "executor_fallbacks": list(self.fallbacks),
         }
 

@@ -26,6 +26,7 @@ import os
 import random
 from typing import Callable, Iterable, Iterator
 
+from .accumulators import scoped_iterator
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner
 
 
@@ -116,6 +117,9 @@ class RDD:
     def cache(self) -> "RDD":
         """Keep computed partitions in memory for reuse across jobs."""
         self._cached = True
+        register = getattr(self.context, "register_cached_rdd", None)
+        if register is not None:
+            register(self)
         return self
 
     def unpersist(self) -> "RDD":
@@ -516,7 +520,14 @@ class ParallelCollectionRDD(RDD):
 
 
 class MapPartitionsRDD(RDD):
-    """Narrow transformation: ``f(partition_index, iterator) -> iterator``."""
+    """Narrow transformation: ``f(partition_index, iterator) -> iterator``.
+
+    The only RDD kind that runs user closures, so its output iterator is
+    wrapped in an accumulator scope: counter increments made while this
+    partition is pulled are attributed to ``(rdd_id, index)``, the
+    logical-computation key the scheduler deduplicates winning deltas
+    by (see :mod:`~repro.minispark.accumulators`).
+    """
 
     def __init__(self, parent: RDD, f: Callable, preserves_partitioning: bool):
         super().__init__(
@@ -528,7 +539,9 @@ class MapPartitionsRDD(RDD):
 
     def compute(self, index: int) -> Iterator:
         parent = self.dependencies[0].parent
-        return self._f(index, parent.iterator(index))
+        return scoped_iterator(
+            self._f(index, parent.iterator(index)), (self.rdd_id, index)
+        )
 
 
 class UnionRDD(RDD):

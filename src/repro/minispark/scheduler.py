@@ -186,6 +186,7 @@ class Scheduler:
             stage.speculative_launched += 1 if outcome.speculated else 0
             stage.speculative_wins += 1 if outcome.speculative_win else 0
             stage.worker_respawns += outcome.respawns
+            self._merge_attempt_stats(stage, index, outcome)
             if tracer is not None:
                 self._trace_task(tracer, span, index, outcome)
         if tracer is not None:
@@ -198,6 +199,9 @@ class Scheduler:
                 speculative_launched=stage.speculative_launched,
                 speculative_wins=stage.speculative_wins,
                 worker_respawns=stage.worker_respawns,
+                stats_deltas_merged=stage.stats_deltas_merged,
+                stats_deltas_deduped=stage.stats_deltas_deduped,
+                stats_deltas_discarded=stage.stats_deltas_discarded,
                 skew_ratio=round(stage.skew_ratio(), 4),
                 task_stats={
                     key: round(value, 6)
@@ -208,6 +212,47 @@ class Scheduler:
             if not outcome.ok:
                 raise outcome.error
         return [outcome.value for outcome in outcomes]
+
+    def _merge_attempt_stats(self, stage: StageMetrics, index: int,
+                             outcome) -> None:
+        """Fold one task's accumulator deltas into the driver channels.
+
+        Only the *winning* attempt — the final attempt of a successful
+        task — contributes to a channel's exact value, and each logical
+        ``(rdd_id, partition)`` scope is merged at most once per channel
+        (a deterministic recomputation elsewhere produces an identical
+        delta, so dropping the repeat reproduces the fault-free serial
+        value).  Failed attempts and speculation losers are folded into
+        the channel's ``discarded`` counter instead, mirroring how
+        ``task_seconds`` keeps only the final attempt while
+        ``attempt_seconds`` keeps the full history.
+        """
+        channels = self.context.stats_channels
+        winner = None
+        discarded = list(outcome.discarded_stats)
+        if outcome.ok and outcome.attempt_stats:
+            winner = outcome.attempt_stats[-1]
+            discarded.extend(outcome.attempt_stats[:-1])
+        else:
+            discarded.extend(outcome.attempt_stats)
+        if winner:
+            for (channel_id, scope), delta in winner.items():
+                channel = channels.get(channel_id)
+                if channel is None:
+                    continue  # channel's join already finished
+                if scope is None:  # mutation outside any narrow transform
+                    scope = ("task", stage.name, index)
+                if channel.merge_winner(delta, scope):
+                    stage.stats_deltas_merged += 1
+                else:
+                    stage.stats_deltas_deduped += 1
+        for registry in discarded:
+            for (channel_id, _scope), delta in registry.items():
+                channel = channels.get(channel_id)
+                if channel is None:
+                    continue
+                channel.merge_discarded(delta)
+                stage.stats_deltas_discarded += 1
 
     @staticmethod
     def _trace_task(tracer, stage_span, index: int, outcome) -> None:

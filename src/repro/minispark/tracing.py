@@ -231,6 +231,7 @@ class Tracer:
         for span in self.spans:
             if span.kind == "phase" and span.name not in phases:
                 phases.append(span.name)
+        stage_spans = self.spans_of("stage")
         stages = [
             {
                 "name": span.name,
@@ -238,8 +239,19 @@ class Tracer:
                 "wall_seconds": span.duration or 0.0,
                 "skew": span.args.get("task_stats", {}),
             }
-            for span in self.spans_of("stage")
+            for span in stage_spans
         ]
+        accumulators = {
+            "deltas_merged": sum(
+                s.args.get("stats_deltas_merged", 0) for s in stage_spans
+            ),
+            "deltas_deduped": sum(
+                s.args.get("stats_deltas_deduped", 0) for s in stage_spans
+            ),
+            "deltas_discarded": sum(
+                s.args.get("stats_deltas_discarded", 0) for s in stage_spans
+            ),
+        }
         return {
             "schema_version": TRACE_SCHEMA_VERSION,
             "span_counts": span_counts,
@@ -250,6 +262,7 @@ class Tracer:
             "num_attempts": span_counts.get("attempt", 0),
             "phases": phases,
             "stages": stages,
+            "accumulators": accumulators,
         }
 
     # ------------------------------------------------------- chrome export
