@@ -59,6 +59,7 @@ class RunConfig:
     executor: str = "serial"
     max_workers: int | None = None
     token_format: str = "compact"
+    kernel: str = "vectorized"
     task_retries: int = 0
     chaos: FaultPlan | None = None
     speculation: SpeculationPolicy | None = None
@@ -115,7 +116,9 @@ def run(
         speculation=config.speculation,
         tracer=config.trace,
     )
-    if ctx.executor.name == "processes":
+    if ctx.executor.name == "processes" and config.token_format == "legacy":
+        # Compact tokens never ship ranking objects, so prebuilding the
+        # per-ranking rank tables only pays off on the legacy format.
         for ranking in dataset.rankings:
             ranking.build_ranks()
 
@@ -152,6 +155,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             use_position_filter=config.use_position_filter,
             seed=config.seed,
             token_format=config.token_format,
+            kernel=config.kernel,
         )
     if config.algorithm == "vj-nl":
         return vj_join(
@@ -160,6 +164,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             use_position_filter=config.use_position_filter,
             seed=config.seed,
             token_format=config.token_format,
+            kernel=config.kernel,
         )
     if config.algorithm == "cl":
         return cl_join(
@@ -171,6 +176,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             triangle_accept=config.triangle_accept,
             seed=config.seed,
             token_format=config.token_format,
+            kernel=config.kernel,
         )
     if config.algorithm == "cl-p":
         delta = config.partition_threshold
@@ -186,6 +192,7 @@ def _dispatch(ctx: Context, dataset, config: RunConfig) -> JoinResult:
             triangle_accept=config.triangle_accept,
             seed=config.seed,
             token_format=config.token_format,
+            kernel=config.kernel,
         )
     raise ValueError(f"unknown algorithm {config.algorithm!r}")
 

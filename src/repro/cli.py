@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default="compact",
                       help="shuffle payload for vj/vj-nl/cl/cl-p: compact "
                       "integer tokens (default) or legacy ranking objects")
+    join.add_argument("--kernel", choices=("vectorized", "scalar"),
+                      default="vectorized",
+                      help="verification kernel for vj/vj-nl/cl/cl-p: "
+                      "vectorized columnar batches (default) or the "
+                      "per-pair scalar oracle — identical results/stats")
     join.add_argument("--task-retries", type=int, default=0,
                       help="retry budget per task before the job fails "
                       "(default 0: fail fast)")
@@ -131,6 +136,7 @@ def _cmd_join(args) -> int:
     options: dict = {}
     if args.algorithm in ("vj", "vj-nl", "cl", "cl-p"):
         options["token_format"] = args.token_format
+        options["kernel"] = args.kernel
     if args.algorithm in ("cl", "cl-p"):
         options["theta_c"] = args.theta_c
     if args.algorithm == "cl-p":

@@ -11,6 +11,13 @@ from .compact import (
 )
 from .grouping import distinct_pairs, grouped_join
 from .jaccard import jaccard_bruteforce, jaccard_join, jaccard_join_local
+from .kernels import (
+    KERNELS,
+    GroupColumns,
+    batch_filter_verify,
+    store_batch_verify,
+    validate_kernel,
+)
 from .metric_partition import metric_partition_join
 from .local import (
     PrefixFilterJoin,
@@ -30,10 +37,13 @@ from .vj import vj_join, vj_nl_join
 
 __all__ = [
     "ALGORITHMS",
+    "GroupColumns",
     "JoinResult",
     "JoinStats",
+    "KERNELS",
     "PrefixFilterJoin",
     "TOKEN_FORMATS",
+    "batch_filter_verify",
     "bruteforce_join",
     "canonical_pair",
     "check_pair",
@@ -52,7 +62,9 @@ __all__ = [
     "metric_partition_join",
     "prefix_size_for",
     "similarity_join",
+    "store_batch_verify",
     "triangle_bounds",
+    "validate_kernel",
     "validate_token_format",
     "verify",
     "violates_position_filter",

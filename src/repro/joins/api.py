@@ -55,6 +55,7 @@ def similarity_join(
     executor: str | None = None,
     max_workers: int | None = None,
     token_format: str | None = None,
+    kernel: str | None = None,
     task_retries: int | None = None,
     chaos: FaultPlan | None = None,
     speculation: SpeculationPolicy | None = None,
@@ -90,6 +91,12 @@ def similarity_join(
         ``"legacy"`` (full ranking objects per token, deduplicated by
         shuffle).  Results are identical; only shuffle volume differs.
         Rejected for algorithms without a token pipeline.
+    kernel:
+        Verification implementation of the prefix-filter algorithms:
+        ``"vectorized"`` (columnar batch kernels over numpy arrays, the
+        default) or ``"scalar"`` (the per-pair oracle).  Results and
+        stats are identical; only speed differs.  Rejected for
+        algorithms without the batch kernels.
     task_retries:
         Retry budget per task for the auto-created context (Spark's
         ``spark.task.maxFailures - 1``).  Only valid without ``ctx``.
@@ -145,6 +152,12 @@ def similarity_join(
                 f"token_format does not apply to algorithm {algorithm!r}"
             )
         options["token_format"] = token_format
+    if kernel is not None:
+        if algorithm not in ("vj", "vj-nl", "cl", "cl-p"):
+            raise ValueError(
+                f"kernel does not apply to algorithm {algorithm!r}"
+            )
+        options["kernel"] = kernel
     if algorithm == "bruteforce":
         return bruteforce_join(dataset, theta)
     if algorithm == "local":
@@ -158,10 +171,16 @@ def similarity_join(
         speculation=speculation,
         tracer=trace,
     )
-    if ctx.executor.name == "processes":
+    ships_rankings = (
+        algorithm not in ("vj", "vj-nl", "cl", "cl-p")
+        or options.get("token_format", "compact") == "legacy"
+    )
+    if ctx.executor.name == "processes" and ships_rankings:
         # Build each ranking's item -> rank table up front: the tables are
         # pickled with the rankings, so forked verification tasks skip the
-        # lazy per-object re-derivation on their private copies.
+        # lazy per-object re-derivation on their private copies.  The
+        # compact token format never ships ranking objects (workers read
+        # the broadcast columnar store), so it skips this driver-side pass.
         for ranking in dataset.rankings:
             ranking.build_ranks()
     while True:

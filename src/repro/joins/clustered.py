@@ -46,13 +46,14 @@ from __future__ import annotations
 
 from functools import partial
 
+import numpy as np
+
 from ..minispark.accumulators import local_stats
 from ..minispark.context import Context
 from ..minispark.tracing import phase_scope
 from ..rankings.bounds import (
     admits_disjoint_pairs,
     overlap_prefix_size,
-    position_filter_bound,
     raw_threshold,
 )
 from ..rankings.dataset import RankingDataset
@@ -61,10 +62,20 @@ from .compact import (
     emit_prefix_tokens,
     make_compact_kernels,
     make_compact_typed_kernels,
-    pair_threshold as _pair_threshold,
+    pair_threshold as _pair_threshold,  # noqa: F401 — canonical home moved
+    typed_threshold_table,
     validate_token_format,
 )
 from .grouping import distinct_pairs, grouped_join
+from .kernels import (
+    GroupColumns,
+    _pair_chunks,
+    batch_filter_verify,
+    legacy_typed_group_batch,
+    legacy_typed_rs_batch,
+    store_batch_verify,
+    validate_kernel,
+)
 from .types import JoinResult, JoinStats, canonical_pair
 from .verification import verify, violates_position_filter
 from .vj import order_rankings_rdd
@@ -83,6 +94,7 @@ def cl_join(
     triangle_accept: bool = True,
     seed: int = 0,
     token_format: str = "compact",
+    kernel: str = "vectorized",
 ) -> JoinResult:
     """Run the clustering-based similarity join (CL; CL-P with delta).
 
@@ -92,6 +104,10 @@ def cl_join(
     integer-encoded records with a broadcast ranking store and the
     rarest-common-prefix-item deduplication (:mod:`repro.joins.compact`);
     ``"legacy"`` ships full ranking objects and deduplicates by shuffle.
+    ``kernel`` selects batch (``"vectorized"``) or per-pair
+    (``"scalar"``) verification; results and stats are identical.  On
+    the legacy format the expansion phase always runs scalar (it carries
+    ranking objects, not store rows); the compact expansion vectorizes.
     """
     if not 0.0 <= theta_c <= theta:
         raise ValueError(
@@ -102,6 +118,7 @@ def cl_join(
     if variant not in ("index", "nl"):
         raise ValueError(f"unknown variant {variant!r}")
     validate_token_format(token_format)
+    validate_kernel(kernel)
 
     num_partitions = num_partitions or ctx.default_parallelism
     k = dataset.k
@@ -120,7 +137,7 @@ def cl_join(
         return _cl_join_compact(
             ctx, dataset, theta, theta_c, num_partitions, variant,
             partition_threshold, use_position_filter, singleton_prefix,
-            triangle_accept, seed,
+            triangle_accept, seed, kernel,
         )
     stats = JoinStats()
     # Worker-side kernels count through the channel so every counter is
@@ -144,7 +161,7 @@ def cl_join(
         with phase_scope(ctx, "clustering", phase_seconds):
             cluster_pairs = _cluster_pairs(
                 ctx, ordered, theta_c_raw, k, num_partitions, variant,
-                use_position_filter, channel,
+                use_position_filter, channel, kernel,
             ).cache()
             pinned.append(cluster_pairs)
             clusters = _build_clusters(
@@ -190,10 +207,11 @@ def cl_join(
                 num_partitions,
                 _typed_kernel(
                     variant, p_m, p_s, theta_raw, theta_c_raw, channel,
-                    use_position_filter,
+                    use_position_filter, kernel,
                 ),
                 rs_kernel=_typed_rs_kernel(
-                    theta_raw, theta_c_raw, channel, use_position_filter
+                    theta_raw, theta_c_raw, channel, use_position_filter,
+                    kernel,
                 ),
                 partition_threshold=partition_threshold,
                 stats=channel,
@@ -321,7 +339,7 @@ def _check_results_counter(stats: JoinStats, final: list) -> None:
 
 def _cluster_pairs(
     ctx, ordered, theta_c_raw, k, num_partitions, variant,
-    use_position_filter, stats,
+    use_position_filter, stats, kernel="vectorized",
 ):
     """Self-join at the clustering threshold: pairs (i, j), i < j, d <= theta_c."""
     from .vj import make_kernels
@@ -330,10 +348,10 @@ def _cluster_pairs(
     tokens = ordered.flat_map(
         lambda o: ((item, o) for item, _rank in o.prefix(p_c))
     )
-    kernel, rs_kernel = make_kernels(
-        variant, p_c, theta_c_raw, stats, use_position_filter
+    group_kernel, rs_kernel = make_kernels(
+        variant, p_c, theta_c_raw, stats, use_position_filter, kernel
     )
-    pairs = grouped_join(ctx, tokens, num_partitions, kernel, rs_kernel)
+    pairs = grouped_join(ctx, tokens, num_partitions, group_kernel, rs_kernel)
     return distinct_pairs(pairs, num_partitions)
 
 
@@ -406,14 +424,25 @@ def _typed_value(left, singleton_left, right, singleton_right, distance):
     )
 
 
+def _typed_emit(member_left, member_right, distance):
+    """Map a raw batch-kernel result onto the normalized typed record."""
+    left, singleton_left = member_left
+    right, singleton_right = member_right
+    return _typed_value(left, singleton_left, right, singleton_right, distance)
+
+
 def _typed_kernel(
-    variant, p_m, p_s, theta_raw, theta_c_raw, channel, use_position_filter
+    variant, p_m, p_s, theta_raw, theta_c_raw, channel, use_position_filter,
+    kernel="vectorized",
 ):
     """Per-group kernel of Algorithm 1: type-aware thresholds and prefixes.
 
     ``channel`` is a plain :class:`JoinStats` or an accumulator channel;
-    each kernel resolves its task-local delta once per group.
+    each kernel resolves its task-local delta once per group.  The
+    Lemma 5.3 thresholds and their position bounds are precomputed per
+    type pair, once per kernel build.
     """
+    thresholds = typed_threshold_table(theta_raw, theta_c_raw)
 
     def nested_loop(item, members):
         stats = local_stats(channel)
@@ -421,13 +450,10 @@ def _typed_kernel(
         for a_index, (left, singleton_left) in enumerate(members):
             left_rank = left.ranking.rank_of(item)
             for right, singleton_right in members[a_index + 1 :]:
-                threshold = _pair_threshold(
-                    singleton_left, singleton_right, theta_raw, theta_c_raw
-                )
+                threshold, bound = thresholds[singleton_left, singleton_right]
                 stats.candidates += 1
                 if use_position_filter and (
-                    abs(left_rank - right.ranking.rank_of(item))
-                    > position_filter_bound(threshold)
+                    abs(left_rank - right.ranking.rank_of(item)) > bound
                 ):
                     stats.position_filtered += 1
                     continue
@@ -454,9 +480,9 @@ def _typed_kernel(
                     if other.rid in seen:
                         continue
                     seen.add(other.rid)
-                    threshold = _pair_threshold(
-                        singleton_probe, singleton_other, theta_raw, theta_c_raw
-                    )
+                    threshold, _bound = thresholds[
+                        singleton_probe, singleton_other
+                    ]
                     stats.candidates += 1
                     if use_position_filter and violates_position_filter(
                         probe.ranking, other.ranking, threshold
@@ -474,11 +500,28 @@ def _typed_kernel(
             for token, _rank in probe_prefix:
                 index.setdefault(token, []).append((probe, singleton_probe))
 
-    return nested_loop if variant == "nl" else indexed
+    scalar_kernel = nested_loop if variant == "nl" else indexed
+    if kernel == "scalar":
+        return scalar_kernel
+
+    def batch(item, members):
+        return legacy_typed_group_batch(
+            item, members, theta_raw, theta_c_raw, channel,
+            use_position_filter, variant,
+            fallback=lambda sorted_members: scalar_kernel(
+                item, sorted_members
+            ),
+            emit=_typed_emit,
+        )
+
+    return batch
 
 
-def _typed_rs_kernel(theta_raw, theta_c_raw, channel, use_position_filter):
+def _typed_rs_kernel(
+    theta_raw, theta_c_raw, channel, use_position_filter, kernel="vectorized"
+):
     """R-S kernel of Algorithm 1 for repartitioned posting lists (CL-P)."""
+    thresholds = typed_threshold_table(theta_raw, theta_c_raw)
 
     def rs(item, left_members, right_members):
         stats = local_stats(channel)
@@ -487,13 +530,10 @@ def _typed_rs_kernel(theta_raw, theta_c_raw, channel, use_position_filter):
             for right, singleton_right in right_members:
                 if left.rid == right.rid:
                     continue
-                threshold = _pair_threshold(
-                    singleton_left, singleton_right, theta_raw, theta_c_raw
-                )
+                threshold, bound = thresholds[singleton_left, singleton_right]
                 stats.candidates += 1
                 if use_position_filter and (
-                    abs(left_rank - right.ranking.rank_of(item))
-                    > position_filter_bound(threshold)
+                    abs(left_rank - right.ranking.rank_of(item)) > bound
                 ):
                     stats.position_filtered += 1
                     continue
@@ -505,7 +545,18 @@ def _typed_rs_kernel(theta_raw, theta_c_raw, channel, use_position_filter):
                         left, singleton_left, right, singleton_right, distance
                     )
 
-    return rs
+    if kernel == "scalar":
+        return rs
+
+    def batch_rs(item, left_members, right_members):
+        return legacy_typed_rs_batch(
+            item, left_members, right_members, theta_raw, theta_c_raw,
+            channel, use_position_filter,
+            fallback=lambda l, r: rs(item, l, r),
+            emit=_typed_emit,
+        )
+
+    return batch_rs
 
 
 # ---------------------------------------------------------------- expansion
@@ -578,6 +629,7 @@ def _cl_join_compact(
     singleton_prefix: str,
     triangle_accept: bool,
     seed: int,
+    kernel: str = "vectorized",
 ) -> JoinResult:
     """CL over the compact shuffle path (:mod:`repro.joins.compact`).
 
@@ -612,7 +664,8 @@ def _cl_join_compact(
         with phase_scope(ctx, "clustering", phase_seconds):
             p_c = overlap_prefix_size(theta_c_raw, k)
             kernel_c, rs_kernel_c = make_compact_kernels(
-                variant, theta_c_raw, store, channel, use_position_filter
+                variant, theta_c_raw, store, channel, use_position_filter,
+                kernel,
             )
             cluster_pairs = grouped_join(
                 ctx,
@@ -650,7 +703,7 @@ def _cl_join_compact(
             stats.cluster_members = len(pair_ids)
             member_member = clusters.flat_map(
                 lambda kv: _same_cluster_pairs_compact(
-                    kv[1], store, theta_raw, theta_c_raw, channel
+                    kv[1], store, theta_raw, theta_c_raw, channel, kernel
                 )
             )
 
@@ -674,7 +727,7 @@ def _cl_join_compact(
 
             kernel_j, rs_kernel_j = make_compact_typed_kernels(
                 variant, theta_raw, theta_c_raw, store, channel,
-                use_position_filter,
+                use_position_filter, kernel,
             )
             r_join = grouped_join(
                 ctx,
@@ -716,7 +769,7 @@ def _cl_join_compact(
             ).flat_map(
                 lambda kv: _expand_member_centroid_compact(
                     kv[1][0], kv[1][1], store, theta_raw, channel,
-                    triangle_accept,
+                    triangle_accept, kernel,
                 )
             )
 
@@ -736,7 +789,7 @@ def _cl_join_compact(
             ).flat_map(
                 lambda kv: _expand_member_member_compact(
                     kv[1][0], kv[1][1], store, theta_raw, channel,
-                    triangle_accept,
+                    triangle_accept, kernel,
                 )
             )
 
@@ -766,35 +819,117 @@ def _cl_join_compact(
     )
 
 
-def _same_cluster_pairs_compact(members, store, theta_raw, theta_c_raw, stats):
+def _same_cluster_pairs_compact(
+    members, store, theta_raw, theta_c_raw, stats, kernel="vectorized"
+):
     """Compact member-member pairs of one cluster (rids only, store verify)."""
-    stats = local_stats(stats)
     members = sorted(members)
-    certain = 2 * theta_c_raw <= theta_raw
-    lookup = store.value
+    if 2 * theta_c_raw <= theta_raw:
+        # Certain by the triangle inequality — nothing to verify, so
+        # there is nothing to vectorize either.
+        stats = local_stats(stats)
+        for a_index, (first, _d1) in enumerate(members):
+            for second, _d2 in members[a_index + 1 :]:
+                stats.triangle_accepted += 1
+                yield (canonical_pair(first, second), None)
+        return
+    columnar = store.value
+    if kernel == "vectorized" and len(members) > 1:
+        rows = np.fromiter(
+            (columnar.row_of[rid] for rid, _d in members),
+            dtype=np.int64,
+            count=len(members),
+        )
+        cols = GroupColumns.from_store(columnar, rows)
+        if cols is not None:
+            stats = local_stats(stats)
+            rids = [rid for rid, _d in members]
+            for ii, jj in _pair_chunks(len(members)):
+                totals, _filtered, results = batch_filter_verify(
+                    cols, ii, jj, theta_raw, use_position_filter=False
+                )
+                stats.candidates += int(ii.size)
+                stats.verified += int(ii.size)
+                stats.results += int(results.sum())
+                for pos in np.flatnonzero(results):
+                    # Members are rid-sorted, so (ii, jj) is canonical.
+                    yield (
+                        (rids[int(ii[pos])], rids[int(jj[pos])]),
+                        int(totals[pos]),
+                    )
+            return
+    stats = local_stats(stats)
     for a_index, (first, _d1) in enumerate(members):
         for second, _d2 in members[a_index + 1 :]:
-            pair = canonical_pair(first, second)
-            if certain:
-                stats.triangle_accepted += 1
-                yield (pair, None)
-            else:
-                stats.candidates += 1
-                stats.verified += 1
-                distance = verify(
-                    lookup[first].ranking, lookup[second].ranking, theta_raw
-                )
-                if distance is not None:
-                    stats.results += 1
-                    yield (pair, distance)
+            stats.candidates += 1
+            stats.verified += 1
+            distance = verify(
+                columnar[first].ranking, columnar[second].ranking, theta_raw
+            )
+            if distance is not None:
+                stats.results += 1
+                yield (canonical_pair(first, second), distance)
 
 
 def _expand_member_centroid_compact(
-    members, other_with_distance, store, theta_raw, stats, triangle_accept
+    members, other_with_distance, store, theta_raw, stats, triangle_accept,
+    kernel="vectorized",
 ):
     """Compact R_{m,c}: members (rids) of one cluster vs. the other side."""
-    stats = local_stats(stats)
     other, centroid_distance = other_with_distance
+    members = list(members)
+    if kernel == "vectorized" and members:
+        rids = np.fromiter(
+            (member for member, _d in members),
+            dtype=np.int64,
+            count=len(members),
+        )
+        dists = np.fromiter(
+            (d for _member, d in members),
+            dtype=np.float64,
+            count=len(members),
+        )
+        keep = rids != other
+        filtered = keep & (np.abs(centroid_distance - dists) > theta_raw)
+        live = keep & ~filtered
+        if triangle_accept:
+            accepted = live & (centroid_distance + dists <= theta_raw)
+        else:
+            accepted = np.zeros(len(members), dtype=bool)
+        to_verify = live & ~accepted
+        verify_rids = rids[to_verify]
+        if verify_rids.size:
+            batch = store_batch_verify(
+                store.value,
+                verify_rids,
+                np.full(verify_rids.size, other, dtype=np.int64),
+                theta_raw,
+            )
+        else:
+            batch = np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+        # batch is None ⟺ the localized rank matrix would blow the memory
+        # cap — fall through to the scalar path before any counter moves.
+        if batch is not None:
+            totals, results = batch
+            stats = local_stats(stats)
+            stats.candidates += int(keep.sum())
+            stats.triangle_filtered += int(filtered.sum())
+            stats.triangle_accepted += int(accepted.sum())
+            stats.verified += int(to_verify.sum())
+            stats.results += int(results.sum())
+            cursor = 0
+            for index in range(len(members)):
+                if accepted[index]:
+                    yield (canonical_pair(int(rids[index]), other), None)
+                elif to_verify[index]:
+                    if results[cursor]:
+                        yield (
+                            canonical_pair(int(rids[index]), other),
+                            int(totals[cursor]),
+                        )
+                    cursor += 1
+            return
+    stats = local_stats(stats)
     lookup = store.value
     for member, member_distance in members:
         if member == other:
@@ -818,11 +953,68 @@ def _expand_member_centroid_compact(
 
 
 def _expand_member_member_compact(
-    hop, members, store, theta_raw, stats, triangle_accept
+    hop, members, store, theta_raw, stats, triangle_accept,
+    kernel="vectorized",
 ):
     """Compact R_{m,m}: first-cluster member (rid) vs. second's members."""
-    stats = local_stats(stats)
     member_i, distance_i, centroid_distance = hop
+    members = list(members)
+    if kernel == "vectorized" and members:
+        rids = np.fromiter(
+            (member for member, _d in members),
+            dtype=np.int64,
+            count=len(members),
+        )
+        dists = np.fromiter(
+            (d for _member, d in members),
+            dtype=np.float64,
+            count=len(members),
+        )
+        keep = rids != member_i
+        filtered = keep & (
+            centroid_distance - distance_i - dists > theta_raw
+        )
+        live = keep & ~filtered
+        if triangle_accept:
+            accepted = live & (
+                centroid_distance + distance_i + dists <= theta_raw
+            )
+        else:
+            accepted = np.zeros(len(members), dtype=bool)
+        to_verify = live & ~accepted
+        verify_rids = rids[to_verify]
+        if verify_rids.size:
+            batch = store_batch_verify(
+                store.value,
+                np.full(verify_rids.size, member_i, dtype=np.int64),
+                verify_rids,
+                theta_raw,
+            )
+        else:
+            batch = np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+        if batch is not None:
+            totals, results = batch
+            stats = local_stats(stats)
+            stats.candidates += int(keep.sum())
+            stats.triangle_filtered += int(filtered.sum())
+            stats.triangle_accepted += int(accepted.sum())
+            stats.verified += int(to_verify.sum())
+            stats.results += int(results.sum())
+            cursor = 0
+            for index in range(len(members)):
+                if accepted[index]:
+                    yield (
+                        canonical_pair(member_i, int(rids[index])), None
+                    )
+                elif to_verify[index]:
+                    if results[cursor]:
+                        yield (
+                            canonical_pair(member_i, int(rids[index])),
+                            int(totals[cursor]),
+                        )
+                    cursor += 1
+            return
+    stats = local_stats(stats)
     lookup = store.value
     for member_j, distance_j in members:
         if member_i == member_j:

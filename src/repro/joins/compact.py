@@ -10,14 +10,18 @@ crosses the (simulated) wire rather than at kernel speed:
    table itself is counted shuffle-free — per-partition Counters merged on
    the driver — where the legacy ordering pays a ``reduce_by_key`` shuffle.
 
-2. **Slim tokens + a broadcast ranking store** — instead of shipping the
+2. **Slim tokens + a broadcast columnar store** — instead of shipping the
    whole ``OrderedRanking`` once per prefix item, a token is
    ``(rid, key_rank, prefix_codes)``: the ranking id, the original rank of
    the group's key item (the O(1) position check of Section 4.1), and the
    sorted tuple of the emitted prefix codes.  Full rankings live in a
-   driver-built, broadcast ``rid -> OrderedRanking`` store that kernels
-   consult only when a candidate actually reaches verification.  Per-token
-   payload drops from O(k) objects to O(p) small ints.
+   driver-built, broadcast :class:`~repro.rankings.encoding.ColumnarStore`
+   — one contiguous ``(n, k)`` int32 code matrix plus a rid index — that
+   kernels consult only when a candidate actually reaches verification
+   (vectorized kernels gather rows as arrays; the scalar oracle
+   materializes ranking objects lazily per rid).  Per-token payload drops
+   from O(k) objects to O(p) small ints, and the broadcast itself is two
+   array buffers instead of n Python objects.
 
 3. **Rarest-common-prefix-item deduplication** — a candidate pair whose
    prefixes share ``m`` items meets in ``m`` groups; the legacy path
@@ -48,8 +52,20 @@ from collections import Counter
 from ..minispark.accumulators import local_stats
 from ..minispark.context import Broadcast, Context
 from ..rankings.bounds import position_filter_bound
-from ..rankings.encoding import ItemEncoder, encode_ordered, encode_rank_ordered
+from ..rankings.encoding import (
+    ColumnarStore,
+    ItemEncoder,
+    encode_ordered,
+    encode_rank_ordered,
+)
 from ..rankings.ordering import OrderedRanking
+from .kernels import (
+    compact_group_batch,
+    compact_rs_batch,
+    compact_typed_group_batch,
+    compact_typed_rs_batch,
+    validate_kernel,
+)
 from .types import JoinStats, canonical_pair
 from .verification import check_pair, verify, violates_position_filter
 
@@ -97,12 +113,13 @@ def compact_ordering(ctx: Context, rdd, prefix: str = "overlap"):
     else:
         ordered = rdd.map(lambda r: encode_ordered(r, table.value))
     ordered = ordered.cache()
-    store: dict = {}
-    for o in ordered.collect():
-        # Rank tables are needed by every verification; building them once
-        # here beats every kernel (or forked worker) re-deriving them.
-        o.ranking.build_ranks()
-        store[o.rid] = o
+    # The store is columnar: one contiguous (n, k) code matrix plus a
+    # rid index, built straight from the collected encoded rankings.
+    # Nothing is materialized per ranking here — the vectorized kernels
+    # gather from the arrays, and the scalar oracle path materializes
+    # (and caches) ranking objects lazily per verified rid, so small-θ
+    # runs no longer pay an O(n·k) driver-side rank-table build.
+    store = ColumnarStore.from_ordered(ordered.collect(), len(encoder))
     return ordered, ctx.broadcast(store), encoder
 
 
@@ -166,6 +183,7 @@ def compact_group_indexed(
     """
     stats = local_stats(stats)
     members = sorted(members)
+    bound = position_filter_bound(theta_raw) if use_position_filter else None
     index: dict = {}
     for token in members:
         rid_probe, _rank, codes_probe = token
@@ -190,6 +208,7 @@ def compact_group_indexed(
                     theta_raw,
                     stats,
                     use_position_filter,
+                    bound,
                 )
                 if distance is not None:
                     yield canonical_pair(rid_probe, rid_other), distance
@@ -267,11 +286,20 @@ def make_compact_kernels(
     store: Broadcast,
     stats: JoinStats,
     use_position_filter: bool,
+    kernel: str = "vectorized",
 ):
-    """Group and R-S kernels of the compact path for a plain threshold."""
+    """Group and R-S kernels of the compact path for a plain threshold.
+
+    ``kernel="vectorized"`` (the default) runs the batch kernels of
+    :mod:`repro.joins.kernels` over the columnar store, falling back to
+    the scalar kernel for any group whose rank matrix would be too
+    large; ``"scalar"`` is the per-pair oracle path.  Both produce the
+    same pairs, distances, and ``JoinStats`` counters.
+    """
+    validate_kernel(kernel)
     if variant == "index":
 
-        def kernel(item, members):
+        def scalar_kernel(item, members):
             return compact_group_indexed(
                 item, list(members), store.value, theta_raw, stats,
                 use_position_filter,
@@ -279,19 +307,38 @@ def make_compact_kernels(
 
     else:
 
-        def kernel(item, members):
+        def scalar_kernel(item, members):
             return compact_group_nested_loop(
                 list(members), item, store.value, theta_raw, stats,
                 use_position_filter,
             )
 
-    def rs_kernel(item, left, right):
+    def scalar_rs_kernel(item, left, right):
         return compact_groups_rs(
             list(left), list(right), item, store.value, theta_raw, stats,
             use_position_filter,
         )
 
-    return kernel, rs_kernel
+    if kernel == "scalar":
+        return scalar_kernel, scalar_rs_kernel
+
+    def batch_kernel(item, members):
+        return compact_group_batch(
+            item, members, store.value, theta_raw, stats,
+            use_position_filter, variant,
+            fallback=lambda sorted_members: scalar_kernel(
+                item, sorted_members
+            ),
+        )
+
+    def batch_rs_kernel(item, left, right):
+        return compact_rs_batch(
+            left, right, item, store.value, theta_raw, stats,
+            use_position_filter,
+            fallback=lambda l, r: scalar_rs_kernel(item, l, r),
+        )
+
+    return batch_kernel, batch_rs_kernel
 
 
 # ------------------------------------------------------ CL typed kernels
@@ -304,6 +351,24 @@ def _compact_typed_value(rid_a, singleton_a, rid_b, singleton_b, distance):
     return (rid_b, rid_a), (distance, singleton_b, singleton_a)
 
 
+def typed_threshold_table(theta_raw: float, theta_c_raw: float) -> dict:
+    """Precomputed Lemma 5.3 ``(threshold, position bound)`` per type pair.
+
+    Keyed by ``(singleton_a, singleton_b)`` — hoisting the two per-pair
+    function calls of the typed kernels into one dict lookup.
+    """
+    return {
+        (sa, sb): (
+            pair_threshold(sa, sb, theta_raw, theta_c_raw),
+            position_filter_bound(
+                pair_threshold(sa, sb, theta_raw, theta_c_raw)
+            ),
+        )
+        for sa in (True, False)
+        for sb in (True, False)
+    }
+
+
 def make_compact_typed_kernels(
     variant: str,
     theta_raw: float,
@@ -311,6 +376,7 @@ def make_compact_typed_kernels(
     store: Broadcast,
     channel,
     use_position_filter: bool,
+    kernel: str = "vectorized",
 ):
     """Algorithm 1's type-aware kernels over slim typed tokens.
 
@@ -319,8 +385,12 @@ def make_compact_typed_kernels(
     ascending ids — the objects the legacy records carried are resolved
     from the store during expansion instead.  ``channel`` is a plain
     :class:`JoinStats` or an accumulator channel; each kernel resolves
-    its task-local delta once per group.
+    its task-local delta once per group.  ``kernel`` selects the batch
+    (``"vectorized"``) or per-pair (``"scalar"``) implementation; both
+    agree on outcomes and counters.
     """
+    validate_kernel(kernel)
+    thresholds = typed_threshold_table(theta_raw, theta_c_raw)
 
     def nested_loop(item, members):
         # Generator: resolved at first next(), inside the task's scope.
@@ -334,13 +404,9 @@ def make_compact_typed_kernels(
                 if first_common(codes_a, codes_b) != item:
                     stats.dedup_skipped += 1
                     continue
-                threshold = pair_threshold(
-                    singleton_a, singleton_b, theta_raw, theta_c_raw
-                )
+                threshold, bound = thresholds[singleton_a, singleton_b]
                 stats.candidates += 1
-                if use_position_filter and (
-                    abs(rank_a - rank_b) > position_filter_bound(threshold)
-                ):
+                if use_position_filter and abs(rank_a - rank_b) > bound:
                     stats.position_filtered += 1
                     continue
                 stats.verified += 1
@@ -372,10 +438,9 @@ def make_compact_typed_kernels(
                     if first_common(codes_probe, codes_other) != item:
                         stats.dedup_skipped += 1
                         continue
-                    threshold = pair_threshold(
-                        singleton_probe, singleton_other, theta_raw,
-                        theta_c_raw,
-                    )
+                    threshold, _bound = thresholds[
+                        singleton_probe, singleton_other
+                    ]
                     stats.candidates += 1
                     if use_position_filter and violates_position_filter(
                         lookup[rid_probe].ranking,
@@ -409,13 +474,9 @@ def make_compact_typed_kernels(
                 if first_common(codes_a, codes_b) != item:
                     stats.dedup_skipped += 1
                     continue
-                threshold = pair_threshold(
-                    singleton_a, singleton_b, theta_raw, theta_c_raw
-                )
+                threshold, bound = thresholds[singleton_a, singleton_b]
                 stats.candidates += 1
-                if use_position_filter and (
-                    abs(rank_a - rank_b) > position_filter_bound(threshold)
-                ):
+                if use_position_filter and abs(rank_a - rank_b) > bound:
                     stats.position_filtered += 1
                     continue
                 stats.verified += 1
@@ -428,5 +489,31 @@ def make_compact_typed_kernels(
                         rid_a, singleton_a, rid_b, singleton_b, distance
                     )
 
-    kernel = nested_loop if variant == "nl" else indexed
-    return kernel, rs
+    scalar_kernel = nested_loop if variant == "nl" else indexed
+    if kernel == "scalar":
+        return scalar_kernel, rs
+
+    def emit(token_a, token_b, distance):
+        return _compact_typed_value(
+            token_a[0], token_a[3], token_b[0], token_b[3], distance
+        )
+
+    def batch_kernel(item, members):
+        return compact_typed_group_batch(
+            item, members, store.value, theta_raw, theta_c_raw, channel,
+            use_position_filter, variant,
+            fallback=lambda sorted_members: scalar_kernel(
+                item, sorted_members
+            ),
+            emit=emit,
+        )
+
+    def batch_rs_kernel(item, left, right):
+        return compact_typed_rs_batch(
+            item, left, right, store.value, theta_raw, theta_c_raw,
+            channel, use_position_filter,
+            fallback=lambda l, r: rs(item, l, r),
+            emit=emit,
+        )
+
+    return batch_kernel, batch_rs_kernel

@@ -104,6 +104,11 @@ class PrefixFilterJoin:
 
         pairs = []
         index: dict = {}
+        bound = (
+            position_filter_bound(theta_raw)
+            if self.use_position_filter
+            else None
+        )
         for probe in ordered:
             seen: set = set()
             probe_prefix = probe.prefix(p)
@@ -118,6 +123,7 @@ class PrefixFilterJoin:
                         theta_raw,
                         stats,
                         self.use_position_filter,
+                        bound,
                     )
                     if distance is not None:
                         pairs.append(
@@ -149,6 +155,7 @@ def join_group_indexed(
     """
     stats = local_stats(stats)
     members = sorted(members, key=lambda o: o.rid)
+    bound = position_filter_bound(theta_raw) if use_position_filter else None
     index: dict = {}
     for probe in members:
         seen: set = set()
@@ -167,6 +174,7 @@ def join_group_indexed(
                     theta_raw,
                     stats,
                     use_position_filter,
+                    bound,
                 )
                 if distance is not None:
                     yield canonical_pair(probe.rid, other.rid), distance

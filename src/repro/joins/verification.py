@@ -14,7 +14,6 @@ their composition on the distance, the filter decision, and every
 
 from __future__ import annotations
 
-from ..minispark.accumulators import local_stats
 from ..rankings.bounds import position_filter_bound
 from ..rankings.ranking import Ranking
 from .types import JoinStats
@@ -62,6 +61,7 @@ def fused_filter_verify(
     sigma: Ranking,
     theta_raw: float,
     use_position_filter: bool = True,
+    bound: float | None = None,
 ) -> tuple:
     """Position filter + early-exit verification in one pass per ranking.
 
@@ -74,12 +74,17 @@ def fused_filter_verify(
     bound (the original filter is a full pass), never re-summed — so the
     counter semantics of the two-pass composition are preserved while
     each ranking's items are traversed at most once.
+
+    ``bound`` is the precomputed ``position_filter_bound(theta_raw)``;
+    kernels that verify many pairs at one threshold pass it in so the
+    per-pair path does no redundant recomputation.
     """
     k = tau.k
     sigma_ranks = sigma.ranks
     total = 0
     if use_position_filter:
-        bound = position_filter_bound(theta_raw)
+        if bound is None:
+            bound = position_filter_bound(theta_raw)
         exceeded = False
         for pos, item in enumerate(tau.items):
             other = sigma_ranks.get(item)
@@ -121,20 +126,22 @@ def check_pair(
     theta_raw: float,
     stats: JoinStats,
     use_position_filter: bool = True,
+    bound: float | None = None,
 ) -> int | None:
     """Filter-then-verify one candidate pair, updating ``stats``.
 
-    ``stats`` may be a plain :class:`JoinStats` (driver-side callers,
-    unit tests) or an accumulator channel — worker-side callers pass the
-    channel so the counts survive retries, speculation, and forked
-    executors exactly once.
+    ``stats`` must be a *resolved* counter object — a plain
+    :class:`JoinStats` (driver-side callers, unit tests) or the
+    task-local delta a worker-side kernel obtained once per invocation
+    via :func:`~repro.minispark.accumulators.local_stats`.  Resolution
+    used to happen here, once per candidate; kernels now hoist it (and
+    the ``bound`` computation) out of the per-pair path.
 
     Returns the raw distance for results, ``None`` otherwise.
     """
-    stats = local_stats(stats)
     stats.candidates += 1
     distance, filtered = fused_filter_verify(
-        tau, sigma, theta_raw, use_position_filter
+        tau, sigma, theta_raw, use_position_filter, bound
     )
     if filtered:
         stats.position_filtered += 1

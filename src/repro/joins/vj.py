@@ -53,6 +53,7 @@ from .compact import (
     validate_token_format,
 )
 from .grouping import distinct_pairs, grouped_join
+from .kernels import legacy_group_batch, legacy_rs_batch, validate_kernel
 from .local import (
     join_group_indexed,
     join_group_nested_loop,
@@ -74,15 +75,20 @@ def vj_join(
     seed: int = 0,
     token_format: str = "compact",
     oracle_distinct: bool = False,
+    kernel: str = "vectorized",
 ) -> JoinResult:
     """Run VJ (``variant="index"``) or VJ-NL (``variant="nl"``).
 
     ``theta`` is the normalized Footrule threshold.  Returns all pairs with
     distance ``<= theta`` exactly (verified — no false positives).
+    ``kernel`` selects the batch (``"vectorized"``, the default) or
+    per-pair (``"scalar"``, the oracle) verification implementation;
+    results and stats are identical either way.
     """
     if variant not in ("index", "nl"):
         raise ValueError(f"unknown variant {variant!r}")
     validate_token_format(token_format)
+    validate_kernel(kernel)
     num_partitions = num_partitions or ctx.default_parallelism
     theta_raw = raw_threshold(theta, dataset.k)
     if admits_disjoint_pairs(theta_raw, dataset.k):
@@ -114,21 +120,23 @@ def vj_join(
                 tokens = ordered.flat_map(
                     partial(emit_prefix_tokens, prefix_size=p)
                 )
-                kernel, rs_kernel = make_compact_kernels(
-                    variant, theta_raw, store, channel, use_position_filter
+                group_kernel, rs_kernel = make_compact_kernels(
+                    variant, theta_raw, store, channel, use_position_filter,
+                    kernel,
                 )
             else:
                 tokens = ordered.flat_map(
                     lambda o: ((item, o) for item, _rank in o.prefix(p))
                 )
-                kernel, rs_kernel = make_kernels(
-                    variant, p, theta_raw, channel, use_position_filter
+                group_kernel, rs_kernel = make_kernels(
+                    variant, p, theta_raw, channel, use_position_filter,
+                    kernel,
                 )
             pairs = grouped_join(
                 ctx,
                 tokens,
                 num_partitions,
-                kernel,
+                group_kernel,
                 rs_kernel=rs_kernel,
                 partition_threshold=partition_threshold,
                 stats=channel,
@@ -217,27 +225,51 @@ def make_kernels(
     theta_raw: float,
     stats: JoinStats,
     use_position_filter: bool,
+    kernel: str = "vectorized",
 ):
-    """Build the per-group and R-S kernels for a plain threshold join."""
+    """Build the per-group and R-S kernels for a plain threshold join.
+
+    ``kernel="vectorized"`` batches each group through the columnar
+    kernels of :mod:`repro.joins.kernels`; ``"scalar"`` is the per-pair
+    oracle.  Outcomes and counters are identical.
+    """
+    validate_kernel(kernel)
     if variant == "index":
 
-        def kernel(_item, members):
+        def scalar_kernel(_item, members):
             return join_group_indexed(
                 list(members), prefix_size, theta_raw, stats, use_position_filter
             )
 
     else:
 
-        def kernel(item, members):
+        def scalar_kernel(item, members):
             return join_group_nested_loop(
                 list(members), item, theta_raw, stats, use_position_filter
             )
 
-    rs_kernel = partial(
+    scalar_rs_kernel = partial(
         _rs_kernel, theta_raw=theta_raw, stats=stats,
         use_position_filter=use_position_filter,
     )
-    return kernel, rs_kernel
+    if kernel == "scalar":
+        return scalar_kernel, scalar_rs_kernel
+
+    def batch_kernel(item, members):
+        return legacy_group_batch(
+            item, members, theta_raw, stats, use_position_filter, variant,
+            fallback=lambda sorted_members: scalar_kernel(
+                item, sorted_members
+            ),
+        )
+
+    def batch_rs_kernel(item, left, right):
+        return legacy_rs_batch(
+            item, left, right, theta_raw, stats, use_position_filter,
+            fallback=lambda l, r: scalar_rs_kernel(item, l, r),
+        )
+
+    return batch_kernel, batch_rs_kernel
 
 
 def _rs_kernel(item, left, right, theta_raw, stats, use_position_filter):

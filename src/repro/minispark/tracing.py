@@ -218,8 +218,10 @@ class Tracer:
         """Condense the trace into plain data for ``RunRecord``/bench JSON.
 
         Carries what regression tooling diffs: span/event counts per kind,
-        the phase names in first-seen order, and one entry per stage with
-        its task count, wall seconds, and partition-skew stats.
+        the phase names in first-seen order with their accumulated wall
+        seconds (``phase_seconds`` — the quantity the kernel-speedup gate
+        compares), and one entry per stage with its task count, wall
+        seconds, and partition-skew stats.
         """
         span_counts: dict = {}
         for span in self.spans:
@@ -228,9 +230,14 @@ class Tracer:
         for event in self.events:
             event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
         phases: list = []
+        phase_seconds: dict = {}
         for span in self.spans:
-            if span.kind == "phase" and span.name not in phases:
-                phases.append(span.name)
+            if span.kind == "phase":
+                if span.name not in phases:
+                    phases.append(span.name)
+                phase_seconds[span.name] = (
+                    phase_seconds.get(span.name, 0.0) + (span.duration or 0.0)
+                )
         stage_spans = self.spans_of("stage")
         stages = [
             {
@@ -261,6 +268,7 @@ class Tracer:
             "num_tasks": span_counts.get("task", 0),
             "num_attempts": span_counts.get("attempt", 0),
             "phases": phases,
+            "phase_seconds": phase_seconds,
             "stages": stages,
             "accumulators": accumulators,
         }

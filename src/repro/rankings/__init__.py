@@ -31,7 +31,12 @@ from .generator import (
     make_dataset,
     zipf_weights,
 )
-from .encoding import ItemEncoder, encode_ordered, encode_rank_ordered
+from .encoding import (
+    ColumnarStore,
+    ItemEncoder,
+    encode_ordered,
+    encode_rank_ordered,
+)
 from .ordering import (
     OrderedRanking,
     frequency_order_key,
@@ -50,6 +55,7 @@ from .variable import (
 
 __all__ = [
     "PROFILES",
+    "ColumnarStore",
     "DatasetProfile",
     "ItemEncoder",
     "OrderedRanking",

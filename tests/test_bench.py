@@ -29,6 +29,7 @@ class TestWorkloads:
     def test_registry_covers_paper_datasets(self):
         assert set(WORKLOADS) == {
             "dblp", "dblpx5", "dblpx10", "orku", "orkux5", "orku25",
+            "orku25x34",
         }
 
     def test_load_and_cache(self):
