@@ -63,6 +63,9 @@ class RunConfig:
     task_retries: int = 0
     chaos: FaultPlan | None = None
     speculation: SpeculationPolicy | None = None
+    #: Shuffle memory budget for out-of-core runs (None: all in memory).
+    memory_budget_bytes: int | None = None
+    spill_dir: str | None = None
     #: Benchmarks are self-profiling by default: the run's trace digest
     #: (stage counts, phases, skew) is stamped into the record.
     trace: bool = True
@@ -84,6 +87,7 @@ class RunRecord:
     shuffle_records: int = 0
     shuffle_bytes: int = 0
     recovery: dict = field(default_factory=dict)
+    spill: dict = field(default_factory=dict)
     trace_digest: dict = field(default_factory=dict)
     dnf: bool = False
 
@@ -115,6 +119,8 @@ def run(
         chaos=config.chaos,
         speculation=config.speculation,
         tracer=config.trace,
+        memory_budget_bytes=config.memory_budget_bytes,
+        spill_dir=config.spill_dir,
     )
     if ctx.executor.name == "processes" and config.token_format == "legacy":
         # Compact tokens never ship ranking objects, so prebuilding the
@@ -122,9 +128,16 @@ def run(
         for ranking in dataset.rankings:
             ranking.build_ranks()
 
-    start = perf_counter()
-    result = _dispatch(ctx, dataset, config)
-    wall = perf_counter() - start
+    try:
+        start = perf_counter()
+        result = _dispatch(ctx, dataset, config)
+        wall = perf_counter() - start
+        spill_summary = ctx.spill_summary()
+    finally:
+        # Same spill hygiene as similarity_join: no segment file
+        # outlives the run, whatever happened (counters survive).
+        if ctx.spill is not None:
+            ctx.spill.cleanup()
 
     combined = ctx.metrics.combined()
     return RunRecord(
@@ -140,6 +153,7 @@ def run(
         shuffle_records=combined.total_shuffle_records,
         shuffle_bytes=combined.total_shuffle_bytes,
         recovery=ctx.metrics.recovery_summary(),
+        spill=spill_summary,
         trace_digest=(
             ctx.tracer.digest() if ctx.tracer is not None else {}
         ),

@@ -99,7 +99,9 @@ def record_payload(record) -> dict:
         "task_retries": getattr(config, "task_retries", 0),
         "chaos_seed": config.chaos.seed if getattr(config, "chaos", None)
         else None,
+        "memory_budget_bytes": getattr(config, "memory_budget_bytes", None),
         "recovery": dict(getattr(record, "recovery", {}) or {}),
+        "spill": dict(getattr(record, "spill", {}) or {}),
         "trace_digest": dict(getattr(record, "trace_digest", {}) or {}),
         "phase_seconds": dict(record.phase_seconds),
         "dnf": record.dnf,

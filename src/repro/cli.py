@@ -35,6 +35,27 @@ from .rankings.dataset import RankingDataset
 from .rankings.generator import PROFILES, make_dataset
 
 
+def parse_bytes(text: str) -> int:
+    """Parse a byte count with optional K/M/G suffix (binary multiples)."""
+    raw = text.strip()
+    multiplier = 1
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    if raw and raw[-1].lower() in suffixes:
+        multiplier = suffixes[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte count {text!r} (examples: 1048576, 64M, 2G)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"byte count must be positive, got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--chaos-kill-rate", type=float, default=0.0,
                       help="per-task probability of hard worker death "
                       "(processes executor only)")
+    join.add_argument("--chaos-spill-fault-rate", type=float, default=0.0,
+                      help="per-segment probability that a spill file is "
+                      "deleted, corrupted, or truncated before reuse "
+                      "(needs --memory-budget; recovered via lineage)")
+    join.add_argument("--chaos-spill-write-error-rate", type=float,
+                      default=0.0,
+                      help="per-write probability of an injected ENOSPC "
+                      "on a spill segment (retried up to the fault cap)")
+    join.add_argument("--memory-budget", type=parse_bytes, default=None,
+                      metavar="BYTES",
+                      help="shuffle memory budget; buckets over budget "
+                      "spill to CRC32-checksummed segment files (accepts "
+                      "suffixes K/M/G, e.g. 64M) — results are identical "
+                      "to an in-memory run")
+    join.add_argument("--spill-dir", default=None, metavar="DIR",
+                      help="parent directory for spill segment files "
+                      "(default: system temp; needs --memory-budget)")
     join.add_argument("--speculation", action="store_true",
                       help="duplicate straggling tasks on parallel "
                       "backends (first finished attempt wins)")
@@ -145,12 +183,16 @@ def _cmd_join(args) -> int:
             print(f"delta not given; using Eq. 4 suggestion {args.delta}")
         options["partition_threshold"] = args.delta
     chaos = None
-    if args.chaos_rate or args.chaos_straggler_rate or args.chaos_kill_rate:
+    if (args.chaos_rate or args.chaos_straggler_rate or args.chaos_kill_rate
+            or args.chaos_spill_fault_rate
+            or args.chaos_spill_write_error_rate):
         chaos = FaultPlan(
             seed=args.chaos_seed,
             transient_rate=args.chaos_rate,
             straggler_rate=args.chaos_straggler_rate,
             kill_rate=args.chaos_kill_rate,
+            spill_fault_rate=args.chaos_spill_fault_rate,
+            spill_write_error_rate=args.chaos_spill_write_error_rate,
         )
     ctx = Context(
         default_parallelism=args.partitions,
@@ -158,6 +200,8 @@ def _cmd_join(args) -> int:
         task_retries=args.task_retries, chaos=chaos,
         speculation=SpeculationPolicy() if args.speculation else None,
         tracer=True if (args.trace_out or args.trace_summary) else None,
+        memory_budget_bytes=args.memory_budget,
+        spill_dir=args.spill_dir,
     )
     result = similarity_join(
         dataset, args.theta, algorithm=args.algorithm, ctx=ctx,
@@ -189,6 +233,19 @@ def _cmd_join(args) -> int:
             f"worker respawns {recovery['worker_respawns']}, "
             f"stages recomputed {recovery['stages_recomputed']}, "
             f"fallbacks {recovery['executor_fallbacks']}",
+            file=sys.stderr,
+        )
+    if ctx.spill is not None:
+        spill = ctx.spill_summary()
+        print(
+            f"# spill: budget {spill['budget_bytes']} bytes, "
+            f"spilled {spill['spilled_bytes']} bytes in "
+            f"{spill['spill_files']} files, "
+            f"peak tracked {spill['peak_tracked_bytes']} bytes, "
+            f"read retries {spill['spill_read_retries']}, "
+            f"write errors {spill['write_errors']}, "
+            f"faults {spill['faults_injected']}, "
+            f"memory fallbacks {spill['memory_fallbacks']}",
             file=sys.stderr,
         )
     if args.stats_out:

@@ -60,6 +60,8 @@ def similarity_join(
     chaos: FaultPlan | None = None,
     speculation: SpeculationPolicy | None = None,
     trace: Tracer | bool | None = None,
+    memory_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
     degrade_on_failure: bool = True,
     **options,
 ) -> JoinResult:
@@ -116,6 +118,18 @@ def similarity_join(
         ``ctx.tracer``), or ``None`` to consult the ``REPRO_TRACE``
         environment variable.  Only valid without ``ctx`` — pass
         ``Context(tracer=...)`` to combine the two.
+    memory_budget_bytes:
+        Shuffle memory budget for the auto-created context — buckets
+        over budget spill to CRC32-checksummed segment files
+        (:mod:`repro.minispark.spill`) and stream back on read; results
+        and stats are byte-identical to an in-memory run.  ``None``
+        (default) keeps every bucket in memory.  Only valid without
+        ``ctx`` — pass ``Context(memory_budget_bytes=...)`` instead.
+        Whoever created the context, its spill directory is cleaned up
+        when the join returns (no leaked segment files, ever).
+    spill_dir:
+        Parent directory for the spill files; requires
+        ``memory_budget_bytes``.  Only valid without ``ctx``.
     degrade_on_failure:
         When a backend is marked broken
         (:class:`~repro.minispark.chaos.ExecutorBrokenError`: workers
@@ -140,7 +154,9 @@ def similarity_join(
         for name, value in (("executor", executor),
                             ("task_retries", task_retries),
                             ("chaos", chaos), ("speculation", speculation),
-                            ("trace", trace)):
+                            ("trace", trace),
+                            ("memory_budget_bytes", memory_budget_bytes),
+                            ("spill_dir", spill_dir)):
             if value is not None:
                 raise ValueError(
                     f"pass either ctx or {name}, not both — build the "
@@ -170,6 +186,8 @@ def similarity_join(
         chaos=chaos,
         speculation=speculation,
         tracer=trace,
+        memory_budget_bytes=memory_budget_bytes,
+        spill_dir=spill_dir,
     )
     ships_rankings = (
         algorithm not in ("vj", "vj-nl", "cl", "cl-p")
@@ -183,15 +201,23 @@ def similarity_join(
         # the broadcast columnar store), so it skips this driver-side pass.
         for ranking in dataset.rankings:
             ranking.build_ranks()
-    while True:
-        try:
-            return _dispatch(ctx, dataset, theta, algorithm,
-                             num_partitions, options)
-        except ExecutorBrokenError as broken:
-            fallback = DEGRADATION_CHAIN.get(ctx.executor.name)
-            if not degrade_on_failure or fallback is None:
-                raise
-            ctx.degrade_executor(fallback, reason=str(broken))
+    try:
+        while True:
+            try:
+                return _dispatch(ctx, dataset, theta, algorithm,
+                                 num_partitions, options)
+            except ExecutorBrokenError as broken:
+                fallback = DEGRADATION_CHAIN.get(ctx.executor.name)
+                if not degrade_on_failure or fallback is None:
+                    raise
+                ctx.degrade_executor(fallback, reason=str(broken))
+    finally:
+        # Spill hygiene mirrors the cache no-leak invariant: whatever
+        # happened — success, degradation, or a raised error — no
+        # segment file outlives the join.  Lifetime counters survive,
+        # so ``ctx.spill_summary()`` stays truthful afterwards.
+        if ctx.spill is not None:
+            ctx.spill.cleanup()
 
 
 def _dispatch(

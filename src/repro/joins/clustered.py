@@ -871,23 +871,50 @@ def _same_cluster_pairs_compact(
                 yield (canonical_pair(first, second), distance)
 
 
+#: Members per expansion batch: the compact CL/CL-P expansions stream
+#: each group through the kernels in bounded chunks instead of
+#: materializing the whole member list — VJ-NL's iterator discipline
+#: extended to the expansion side, so a giant cluster's memory footprint
+#: is one chunk, not one group.  Chunking only partitions the per-member
+#: iteration (every filter, counter, and verification is per member and
+#: order-preserving), so results and stats are unchanged.
+EXPANSION_CHUNK = 2048
+
+
+def _member_chunks(members, size=EXPANSION_CHUNK):
+    """Split a (possibly lazy) member iterable into bounded lists."""
+    chunk = []
+    for member in members:
+        chunk.append(member)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def _expand_member_centroid_compact(
     members, other_with_distance, store, theta_raw, stats, triangle_accept,
     kernel="vectorized",
 ):
     """Compact R_{m,c}: members (rids) of one cluster vs. the other side."""
     other, centroid_distance = other_with_distance
-    members = list(members)
-    if kernel == "vectorized" and members:
+    if kernel != "vectorized":
+        yield from _expand_member_centroid_scalar(
+            members, other, centroid_distance, store, theta_raw, stats,
+            triangle_accept,
+        )
+        return
+    for chunk in _member_chunks(members):
         rids = np.fromiter(
-            (member for member, _d in members),
+            (member for member, _d in chunk),
             dtype=np.int64,
-            count=len(members),
+            count=len(chunk),
         )
         dists = np.fromiter(
-            (d for _member, d in members),
+            (d for _member, d in chunk),
             dtype=np.float64,
-            count=len(members),
+            count=len(chunk),
         )
         keep = rids != other
         filtered = keep & (np.abs(centroid_distance - dists) > theta_raw)
@@ -895,7 +922,7 @@ def _expand_member_centroid_compact(
         if triangle_accept:
             accepted = live & (centroid_distance + dists <= theta_raw)
         else:
-            accepted = np.zeros(len(members), dtype=bool)
+            accepted = np.zeros(len(chunk), dtype=bool)
         to_verify = live & ~accepted
         verify_rids = rids[to_verify]
         if verify_rids.size:
@@ -909,26 +936,37 @@ def _expand_member_centroid_compact(
             batch = np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
         # batch is None ⟺ the localized rank matrix would blow the memory
         # cap — fall through to the scalar path before any counter moves.
-        if batch is not None:
-            totals, results = batch
-            stats = local_stats(stats)
-            stats.candidates += int(keep.sum())
-            stats.triangle_filtered += int(filtered.sum())
-            stats.triangle_accepted += int(accepted.sum())
-            stats.verified += int(to_verify.sum())
-            stats.results += int(results.sum())
-            cursor = 0
-            for index in range(len(members)):
-                if accepted[index]:
-                    yield (canonical_pair(int(rids[index]), other), None)
-                elif to_verify[index]:
-                    if results[cursor]:
-                        yield (
-                            canonical_pair(int(rids[index]), other),
-                            int(totals[cursor]),
-                        )
-                    cursor += 1
-            return
+        if batch is None:
+            yield from _expand_member_centroid_scalar(
+                chunk, other, centroid_distance, store, theta_raw, stats,
+                triangle_accept,
+            )
+            continue
+        totals, results = batch
+        local = local_stats(stats)
+        local.candidates += int(keep.sum())
+        local.triangle_filtered += int(filtered.sum())
+        local.triangle_accepted += int(accepted.sum())
+        local.verified += int(to_verify.sum())
+        local.results += int(results.sum())
+        cursor = 0
+        for index in range(len(chunk)):
+            if accepted[index]:
+                yield (canonical_pair(int(rids[index]), other), None)
+            elif to_verify[index]:
+                if results[cursor]:
+                    yield (
+                        canonical_pair(int(rids[index]), other),
+                        int(totals[cursor]),
+                    )
+                cursor += 1
+
+
+def _expand_member_centroid_scalar(
+    members, other, centroid_distance, store, theta_raw, stats,
+    triangle_accept,
+):
+    """Per-member oracle path of :func:`_expand_member_centroid_compact`."""
     stats = local_stats(stats)
     lookup = store.value
     for member, member_distance in members:
@@ -958,17 +996,22 @@ def _expand_member_member_compact(
 ):
     """Compact R_{m,m}: first-cluster member (rid) vs. second's members."""
     member_i, distance_i, centroid_distance = hop
-    members = list(members)
-    if kernel == "vectorized" and members:
+    if kernel != "vectorized":
+        yield from _expand_member_member_scalar(
+            member_i, distance_i, centroid_distance, members, store,
+            theta_raw, stats, triangle_accept,
+        )
+        return
+    for chunk in _member_chunks(members):
         rids = np.fromiter(
-            (member for member, _d in members),
+            (member for member, _d in chunk),
             dtype=np.int64,
-            count=len(members),
+            count=len(chunk),
         )
         dists = np.fromiter(
-            (d for _member, d in members),
+            (d for _member, d in chunk),
             dtype=np.float64,
-            count=len(members),
+            count=len(chunk),
         )
         keep = rids != member_i
         filtered = keep & (
@@ -980,7 +1023,7 @@ def _expand_member_member_compact(
                 centroid_distance + distance_i + dists <= theta_raw
             )
         else:
-            accepted = np.zeros(len(members), dtype=bool)
+            accepted = np.zeros(len(chunk), dtype=bool)
         to_verify = live & ~accepted
         verify_rids = rids[to_verify]
         if verify_rids.size:
@@ -992,28 +1035,39 @@ def _expand_member_member_compact(
             )
         else:
             batch = np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
-        if batch is not None:
-            totals, results = batch
-            stats = local_stats(stats)
-            stats.candidates += int(keep.sum())
-            stats.triangle_filtered += int(filtered.sum())
-            stats.triangle_accepted += int(accepted.sum())
-            stats.verified += int(to_verify.sum())
-            stats.results += int(results.sum())
-            cursor = 0
-            for index in range(len(members)):
-                if accepted[index]:
+        if batch is None:
+            yield from _expand_member_member_scalar(
+                member_i, distance_i, centroid_distance, chunk, store,
+                theta_raw, stats, triangle_accept,
+            )
+            continue
+        totals, results = batch
+        local = local_stats(stats)
+        local.candidates += int(keep.sum())
+        local.triangle_filtered += int(filtered.sum())
+        local.triangle_accepted += int(accepted.sum())
+        local.verified += int(to_verify.sum())
+        local.results += int(results.sum())
+        cursor = 0
+        for index in range(len(chunk)):
+            if accepted[index]:
+                yield (
+                    canonical_pair(member_i, int(rids[index])), None
+                )
+            elif to_verify[index]:
+                if results[cursor]:
                     yield (
-                        canonical_pair(member_i, int(rids[index])), None
+                        canonical_pair(member_i, int(rids[index])),
+                        int(totals[cursor]),
                     )
-                elif to_verify[index]:
-                    if results[cursor]:
-                        yield (
-                            canonical_pair(member_i, int(rids[index])),
-                            int(totals[cursor]),
-                        )
-                    cursor += 1
-            return
+                cursor += 1
+
+
+def _expand_member_member_scalar(
+    member_i, distance_i, centroid_distance, members, store, theta_raw,
+    stats, triangle_accept,
+):
+    """Per-member oracle path of :func:`_expand_member_member_compact`."""
     stats = local_stats(stats)
     lookup = store.value
     for member_j, distance_j in members:

@@ -9,6 +9,7 @@ measured task durations onto a configurable ``executors x cores`` shape.
 from .accumulators import StatsChannel, local_stats
 from .chaos import (
     CHAOS_KILL_EXIT_CODE,
+    ChaosDiskError,
     ChaosError,
     ChaosPolicy,
     ExecutorBrokenError,
@@ -30,6 +31,12 @@ from .executors import (
     make_executor,
 )
 from .metrics import JobMetrics, MetricsCollector, StageMetrics
+from .spill import (
+    SpillCorruptionError,
+    SpilledBucket,
+    SpillError,
+    SpillManager,
+)
 from .tracing import TRACE_SCHEMA_VERSION, Span, Tracer, phase_scope
 from .partitioner import (
     HashPartitioner,
@@ -45,6 +52,7 @@ __all__ = [
     "TABLE3_CONFIG",
     "Accumulator",
     "Broadcast",
+    "ChaosDiskError",
     "ChaosError",
     "ChaosPolicy",
     "ClusterConfig",
@@ -70,6 +78,10 @@ __all__ = [
     "RDD",
     "RangePartitioner",
     "Span",
+    "SpillCorruptionError",
+    "SpillError",
+    "SpillManager",
+    "SpilledBucket",
     "StageMetrics",
     "StatsChannel",
     "TRACE_SCHEMA_VERSION",

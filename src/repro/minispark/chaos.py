@@ -41,6 +41,7 @@ therefore failed fast without burning the retry budget.
 
 from __future__ import annotations
 
+import errno
 import random
 from dataclasses import dataclass, field
 
@@ -64,6 +65,19 @@ class ExecutorBrokenError(RuntimeError):
     :func:`repro.joins.api.similarity_join` catch it to degrade to a
     simpler backend (processes -> threads -> serial).
     """
+
+
+class ChaosDiskError(OSError):
+    """An injected disk failure on a spill-segment write (fake ENOSPC).
+
+    Subclasses ``OSError`` so untouched code paths treat it like the real
+    thing, but the spill manager can tell it apart: injected write
+    errors are retried (the seeded cap guarantees a clean attempt),
+    while a genuine ``OSError`` permanently degrades to in-memory-only.
+    """
+
+    def __init__(self, key: str):
+        super().__init__(errno.ENOSPC, f"chaos: no space left writing {key}")
 
 
 #: Deterministic programming errors a retry cannot fix.
@@ -113,6 +127,16 @@ class FaultPlan:
     ``shuffle_loss_rate`` marks an already-materialized shuffle's outputs
     as lost when a later job revisits them, exercising the scheduler's
     lineage-based stage recomputation (at most once per shuffle).
+
+    The disk-fault family targets the spill subsystem:
+    ``spill_fault_rate`` damages an already-written spill segment
+    (deletion, byte corruption, or truncation — the kind is a second
+    seeded draw) at most once per segment, right before the scheduler
+    revalidates the shuffle, so checksum verification catches it and
+    lineage recomputes the stage.  ``spill_write_error_rate`` makes a
+    segment *write* raise an injected :class:`ChaosDiskError` (fake
+    ENOSPC); the spill manager retries, and the per-key
+    ``max_faults_per_task`` cap guarantees a clean attempt.
     """
 
     seed: int = 0
@@ -121,11 +145,14 @@ class FaultPlan:
     straggler_seconds: float = 0.05
     kill_rate: float = 0.0
     shuffle_loss_rate: float = 0.0
+    spill_fault_rate: float = 0.0
+    spill_write_error_rate: float = 0.0
     max_faults_per_task: int = 2
 
     def __post_init__(self):
         for name in ("transient_rate", "straggler_rate", "kill_rate",
-                     "shuffle_loss_rate"):
+                     "shuffle_loss_rate", "spill_fault_rate",
+                     "spill_write_error_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -170,6 +197,33 @@ class FaultPlan:
         if epoch >= 1:
             return False
         return _roll(self.seed, "shuffle-loss", dep_key, 0, epoch) < self.shuffle_loss_rate
+
+    def spill_fault(self, segment_key: str, epoch: int) -> str | None:
+        """Disk-fault kind to inflict on a spilled segment, or ``None``.
+
+        At most one fault per segment (``epoch >= 1`` is always clean),
+        mirroring :meth:`shuffle_lost`'s completability guarantee: the
+        recomputed stage writes fresh segments with fresh keys, and the
+        original segment never gets damaged twice.
+        """
+        if epoch >= 1:
+            return None
+        if _roll(self.seed, "spill-fault", segment_key, 0, epoch) >= self.spill_fault_rate:
+            return None
+        kinds = ("delete", "corrupt", "truncate")
+        pick = _roll(self.seed, "spill-kind", segment_key, 0, epoch)
+        return kinds[min(int(pick * len(kinds)), len(kinds) - 1)]
+
+    def spill_write_error(self, key: str, attempt: int) -> bool:
+        """Whether this spill-segment write raises a fake ENOSPC.
+
+        ``attempt`` counts faults already injected for this key; the
+        ``max_faults_per_task`` cap bounds them so the write loop always
+        reaches a clean attempt.
+        """
+        if attempt >= self.max_faults_per_task:
+            return False
+        return _roll(self.seed, "spill-write", key, 0, attempt) < self.spill_write_error_rate
 
 
 #: The issue-tracker name for the same thing.

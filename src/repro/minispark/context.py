@@ -14,6 +14,7 @@ from .executors import TaskExecutor, make_executor
 from .metrics import MetricsCollector
 from .rdd import ParallelCollectionRDD, RDD
 from .scheduler import Scheduler
+from .spill import SpillManager
 from .tracing import Tracer, make_tracer
 
 
@@ -106,6 +107,17 @@ class Context:
         Per-stage budget of dead-worker respawns on the processes
         backend before the stage raises
         :class:`~repro.minispark.chaos.ExecutorBrokenError`.
+    memory_budget_bytes:
+        Shuffle memory budget for out-of-core execution
+        (:mod:`repro.minispark.spill`).  When set, materialized shuffle
+        buckets whose estimated pickled size would push the tracked
+        total over the budget are written to CRC32-checksummed segment
+        files and streamed back on read.  ``None`` (default) keeps every
+        bucket in memory — the historical behavior.
+    spill_dir:
+        Parent directory for spill segment files (a unique subdirectory
+        is created inside it and removed on cleanup).  Defaults to the
+        system temp directory; requires ``memory_budget_bytes``.
     tracer:
         Structured tracing (:mod:`repro.minispark.tracing`).  Pass a
         :class:`~repro.minispark.tracing.Tracer` to share one across
@@ -128,6 +140,8 @@ class Context:
         speculation: SpeculationPolicy | None = None,
         max_worker_respawns: int = 4,
         tracer: Tracer | bool | None = None,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | os.PathLike | None = None,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -143,6 +157,15 @@ class Context:
             raise ValueError(
                 f"max_worker_respawns must be >= 0, got {max_worker_respawns}"
             )
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError(
+                f"memory_budget_bytes must be positive, got {memory_budget_bytes}"
+            )
+        if spill_dir is not None and memory_budget_bytes is None:
+            raise ValueError(
+                "spill_dir requires memory_budget_bytes — without a budget "
+                "nothing ever spills"
+            )
         self.default_parallelism = default_parallelism
         self.task_retries = task_retries
         self.shuffle_byte_sample = shuffle_byte_sample
@@ -154,8 +177,20 @@ class Context:
         self.cost_model = cost_model or CostModel()
         self.executor = make_executor(executor, max_workers)
         self.tracer = make_tracer(tracer)
-        self.scheduler = Scheduler(self)
         self.metrics = MetricsCollector()
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill: SpillManager | None = (
+            SpillManager(
+                memory_budget_bytes,
+                spill_dir,
+                chaos=chaos,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            if memory_budget_bytes is not None
+            else None
+        )
+        self.scheduler = Scheduler(self)
         #: Live accumulator channels, by id — weak so a channel vanishes
         #: with the join that created it (its value object outlives it).
         self.stats_channels: weakref.WeakValueDictionary = (
@@ -236,6 +271,12 @@ class Context:
                 "fallback",
                 **{"from": old, "to": name, "reason": reason},
             )
+
+    def spill_summary(self) -> dict:
+        """Lifetime out-of-core accounting, or ``{}`` without a budget."""
+        if self.spill is None:
+            return {}
+        return self.spill.summary()
 
     def simulated_seconds(self, cluster: ClusterConfig | None = None) -> float:
         """Replay all recorded jobs on a cluster shape (defaults to own)."""

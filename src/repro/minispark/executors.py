@@ -59,6 +59,7 @@ from .chaos import (
     WorkerLostError,
     is_transient,
 )
+from .spill import discard_spill_refs
 
 #: Names accepted by :func:`make_executor` / ``Context(executor=...)``.
 EXECUTOR_NAMES = ("serial", "threads", "processes")
@@ -335,6 +336,9 @@ class ThreadTaskExecutor(TaskExecutor):
                 loser = future.result()
                 if loser is not chosen:
                     chosen.discarded_stats.extend(loser.attempt_stats)
+                    # The losing attempt may have spilled its buckets;
+                    # those segment files will never be adopted.
+                    discard_spill_refs(loser.value)
         return outcomes
 
 
@@ -503,6 +507,7 @@ class ProcessTaskExecutor(TaskExecutor):
                                     outcome.discarded_stats.extend(
                                         loser.attempt_stats
                                     )
+                                    discard_spill_refs(loser.value)
                             outcomes[index] = outcome
                         else:
                             # The speculative copy already won; the
@@ -510,6 +515,7 @@ class ProcessTaskExecutor(TaskExecutor):
                             outcomes[index].discarded_stats.extend(
                                 outcome.attempt_stats
                             )
+                            discard_spill_refs(outcome.value)
                         if index == expected:
                             pos += 1
                             current_start = perf_counter()

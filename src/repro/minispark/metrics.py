@@ -76,6 +76,10 @@ class StageMetrics:
     speculative_launched: int = 0  # tasks that got a duplicate attempt
     speculative_wins: int = 0  # duplicates that finished first
     worker_respawns: int = 0  # dead workers respawned (processes backend)
+    # --- out-of-core shuffle (see repro.minispark.spill) -------------
+    spilled_bytes: int = 0  # segment bytes this stage wrote to disk
+    spill_files: int = 0  # segment files this stage wrote
+    spill_read_retries: int = 0  # transient re-opens while reading spills
     # --- accumulator channel (see repro.minispark.accumulators) ------
     stats_deltas_merged: int = 0  # winning-attempt deltas folded in
     stats_deltas_deduped: int = 0  # repeats of an already-merged scope
@@ -204,6 +208,18 @@ class JobMetrics:
     @property
     def total_worker_respawns(self) -> int:
         return sum(s.worker_respawns for s in self.stages)
+
+    @property
+    def total_spilled_bytes(self) -> int:
+        return sum(s.spilled_bytes for s in self.stages)
+
+    @property
+    def total_spill_files(self) -> int:
+        return sum(s.spill_files for s in self.stages)
+
+    @property
+    def total_spill_read_retries(self) -> int:
+        return sum(s.spill_read_retries for s in self.stages)
 
     @property
     def total_stats_deltas_merged(self) -> int:

@@ -57,6 +57,14 @@ class ShuffleDependency(Dependency):
     materialization, no longer matches).  The scheduler revalidates
     before reuse and recomputes the map stage from lineage when the check
     fails — that recomputation is exactly what "resilient" means in RDD.
+
+    Under a memory budget a bucket in ``outputs`` may be a
+    :class:`~repro.minispark.spill.SpilledBucket` instead of a list —
+    same ``len()``, same iteration order, but the records stream from a
+    CRC32-checksummed segment file.  Consumers that only iterate (the
+    shuffle-read RDDs below) never notice the difference; a spill file
+    that fails its checksum makes revalidation fail and lands in the
+    same lineage-recomputation path as a lost in-memory shuffle.
     """
 
     def __init__(self, parent: "RDD", partitioner: Partitioner, aggregator=None):
@@ -594,6 +602,10 @@ class ShuffledRDD(RDD):
     Without an aggregator the shuffled pairs pass through unchanged
     (``partitionBy`` semantics); with one, map-side partial combining runs
     in the map tasks and final merging here, yielding ``(key, combined)``.
+
+    Reads are streaming: the bucket is only ever iterated, so a spilled
+    bucket's records flow frame by frame from its checksummed segment
+    files without ever materializing the bucket in memory.
     """
 
     def __init__(self, parent: RDD, partitioner: Partitioner, aggregator=None):

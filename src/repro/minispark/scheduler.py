@@ -28,6 +28,15 @@ lineage — the job records a ``stages_recomputed`` event instead of
 failing.  This is the RDD recovery story of the paper's Spark deployment,
 reproduced end to end.
 
+Out-of-core execution: when the context carries a memory budget
+(``Context(memory_budget_bytes=...)``), merged shuffle buckets that would
+push the tracked in-memory footprint over the budget are written to
+CRC32-checksummed segment files instead (:mod:`repro.minispark.spill`)
+and streamed back on read.  Spilled buckets participate in the same
+validation/recovery cycle — with *exact* full-file checksums instead of
+stride samples — so a damaged spill file is recomputed from lineage
+exactly like a lost in-memory shuffle.
+
 Every task attempt is timed with ``perf_counter``; the durations, record
 counts, shuffle volumes, recovery events, and each stage's wall-clock time
 land in a :class:`~repro.minispark.metrics.JobMetrics` that the cluster
@@ -54,6 +63,7 @@ from time import perf_counter
 from .chaos import TaskPolicy
 from .metrics import JobMetrics, StageMetrics
 from .rdd import RDD, ShuffleDependency
+from .spill import SpilledBucket, read_retries_total, sampled_records_bytes
 
 #: Errors that mean "this record cannot be pickled", which is bookkeeping
 #: noise for the size estimate — anything else (KeyboardInterrupt,
@@ -68,48 +78,45 @@ def estimate_shuffle_bytes(outputs: list, sample: int) -> int:
     records per bucket are measured at a fixed stride and the mean record
     size is extrapolated to the bucket's full record count — the same
     sampling trade-off Spark makes for its own size estimators.  ``sample
-    <= 0`` disables byte accounting (returns 0); records that refuse to
-    pickle are skipped rather than failing the job, since the bytes are
-    bookkeeping, not data flow.
+    <= 0`` disables byte accounting for in-memory buckets (contributes
+    0); records that refuse to pickle are skipped rather than failing the
+    job, since the bytes are bookkeeping, not data flow.
+
+    Spilled buckets need no sampling: their segment files record the
+    exact serialized size, which is reported as-is.
     """
-    if sample <= 0:
-        return 0
-    total_records = sum(len(bucket) for bucket in outputs)
-    if total_records == 0:
-        return 0
-    measured_bytes = 0
-    measured = 0
+    spilled = 0
+    memory = []
     for bucket in outputs:
-        size = len(bucket)
-        if size == 0:
-            continue
-        stride = max(1, -(-size // sample))  # ceil: at most `sample` probes
-        for index in range(0, size, stride):
-            try:
-                measured_bytes += len(
-                    pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
-                )
-            except _UNPICKLABLE_ERRORS:
-                continue
-            measured += 1
-    if measured == 0:
-        return 0
-    return round(total_records * (measured_bytes / measured))
+        if isinstance(bucket, SpilledBucket):
+            spilled += bucket.nbytes
+        else:
+            memory.append(bucket)
+    return spilled + sampled_records_bytes(memory, sample)
 
 
 def shuffle_checksum(outputs: list, sample: int) -> int:
     """Integrity fingerprint of a shuffle's materialized buckets.
 
-    CRC32 over every bucket's length plus stride-sampled pickled records
-    (the same sampling pattern as :func:`estimate_shuffle_bytes`), so
-    validation cost matches materialization bookkeeping cost.  Detects
-    lost buckets, truncation, and corruption of any sampled record;
-    ``sample <= 0`` degrades to the length-only fingerprint.
+    For in-memory buckets: CRC32 over every bucket's length plus
+    stride-sampled pickled records (the same sampling pattern as
+    :func:`estimate_shuffle_bytes`), so validation cost matches
+    materialization bookkeeping cost.  Detects lost buckets, truncation,
+    and corruption of any sampled record; ``sample <= 0`` degrades to
+    the length-only fingerprint.
+
+    Spilled buckets fold their exact per-segment ``(records, nbytes,
+    CRC32)`` triples instead — computed over *every* byte at write time,
+    so spilled data has no sampling blind spot (validation additionally
+    re-reads the files; see ``Scheduler._shuffle_valid``).
     """
     crc = zlib.crc32(repr([len(bucket) for bucket in outputs]).encode())
-    if sample <= 0:
-        return crc
     for bucket in outputs:
+        if isinstance(bucket, SpilledBucket):
+            crc = zlib.crc32(repr(bucket.fingerprint()).encode(), crc)
+            continue
+        if sample <= 0:
+            continue
         size = len(bucket)
         if size == 0:
             continue
@@ -161,13 +168,21 @@ class Scheduler:
         executor = self.context.executor
         policy = self._task_policy(stage.name)
         tracer = self.context.tracer
+        spill = self.context.spill
         span = tracer.begin(stage.name, "stage") if tracer is not None else None
         stage._trace_span = span  # later annotation (shuffle volumes)
+        retries_before = read_retries_total() if spill is not None else 0
         start = perf_counter()
         try:
             outcomes = executor.run_tasks(tasks, policy)
         finally:
             stage.wall_seconds += perf_counter() - start
+            if spill is not None:
+                # Driver-process view only: forked workers count their
+                # retries in their own copy of the module counter.
+                stage.spill_read_retries += (
+                    read_retries_total() - retries_before
+                )
             if tracer is not None:
                 tracer.end(span)
         for index, outcome in enumerate(outcomes):
@@ -208,6 +223,8 @@ class Scheduler:
                     for key, value in stage.duration_stats().items()
                 },
             )
+            if spill is not None:
+                span.annotate(spill_read_retries=stage.spill_read_retries)
         for outcome in outcomes:
             if not outcome.ok:
                 raise outcome.error
@@ -388,7 +405,10 @@ class Scheduler:
                 continue
             if dep.materialized:
                 self._inject_shuffle_loss(dep)
+                self._inject_spill_faults(dep)
                 if not self._shuffle_valid(dep):
+                    if self.context.spill is not None:
+                        self.context.spill.release(dep.outputs)
                     dep.invalidate()
                     job.stages_recomputed += 1
                     if self.context.tracer is not None:
@@ -412,9 +432,23 @@ class Scheduler:
                     "shuffle_lost", "chaos", rdd=f"rdd{dep.parent.rdd_id}"
                 )
 
+    def _inject_spill_faults(self, dep: ShuffleDependency) -> None:
+        """Chaos disk faults land here — right before revalidation."""
+        spill = self.context.spill
+        if spill is None or dep.outputs is None:
+            return
+        spill.inject_faults(dep.outputs)
+
     def _shuffle_valid(self, dep: ShuffleDependency) -> bool:
         if dep.lost:
             return False
+        for bucket in dep.outputs or ():
+            # Spilled buckets are re-read byte by byte and their exact
+            # full-file CRC32s rechecked — deletion, truncation, and
+            # corruption of *any* byte invalidate the shuffle, with no
+            # stride-sampling blind spot.
+            if isinstance(bucket, SpilledBucket) and not bucket.validate():
+                return False
         if dep.checksum is None:
             return True  # pre-checksum materialization (tests, manual deps)
         return (
@@ -426,6 +460,14 @@ class Scheduler:
         parent = dep.parent
         partitioner = dep.partitioner
         stage = job.new_stage(f"shuffle:rdd{parent.rdd_id}")
+        spill = self.context.spill
+        sample = self.context.shuffle_byte_sample
+        prefix = f"rdd{parent.rdd_id}"
+        if spill is not None and spill.active:
+            # Force the spill directory into existence *before* the
+            # executor may fork: children inherit the path, so the
+            # driver can account for (and clean up) their segments.
+            spill.directory()
 
         def make_map_task(index):
             # A failed attempt may have emitted partial buckets; bucket
@@ -442,32 +484,76 @@ class Scheduler:
                     count = self._bucket_combined(
                         parent, index, dep, attempt_outputs
                     )
+                if spill is not None and spill.active:
+                    # Large task outputs spill inside the task — on the
+                    # processes backend only segment *refs* cross the
+                    # result pipe, never the bucket payloads.
+                    est = sampled_records_bytes(attempt_outputs, sample)
+                    if est > spill.task_spill_threshold():
+                        attempt_outputs = spill.spill_task_outputs(
+                            prefix, index, attempt_outputs
+                        )
                 return count, attempt_outputs
 
             return run_map_task
 
         tasks = [make_map_task(i) for i in range(parent.num_partitions)]
+        spill_before = spill.snapshot() if spill is not None else None
         task_results = self._run_stage(stage, tasks)
 
         # Merge every task's buckets in partition order, only after the
         # whole stage succeeded — bucket contents are byte-identical to a
         # serial run regardless of which backend computed them.
-        outputs: list = [[] for _ in range(partitioner.num_partitions)]
-        for count, attempt_outputs in task_results:
-            for bucket, attempt_bucket in zip(outputs, attempt_outputs):
-                bucket.extend(attempt_bucket)
-            stage.records_in += count
+        if spill is not None and spill.active:
+            # Budget-aware merge: each output bucket is charged against
+            # the memory budget if it fits, streamed to a checksummed
+            # segment file otherwise.  Task buckets are handed over (and
+            # dropped) one output partition at a time, so driver-side
+            # peak memory is one partition, not the whole shuffle.
+            outputs = []
+            for p in range(partitioner.num_partitions):
+                parts = []
+                for _count, attempt_outputs in task_results:
+                    parts.append(attempt_outputs[p])
+                    attempt_outputs[p] = None  # consumed
+                spill.merge_bucket(prefix, outputs, p, parts, sample)
+            for count, _attempt_outputs in task_results:
+                stage.records_in += count
+        else:
+            outputs = [[] for _ in range(partitioner.num_partitions)]
+            for count, attempt_outputs in task_results:
+                for bucket, attempt_bucket in zip(outputs, attempt_outputs):
+                    bucket.extend(attempt_bucket)
+                stage.records_in += count
         stage.shuffle_records = sum(len(bucket) for bucket in outputs)
         stage.records_out = stage.shuffle_records
         stage.shuffle_bytes = estimate_shuffle_bytes(
             outputs, self.context.shuffle_byte_sample
         )
+        if spill is not None:
+            after = spill.snapshot()
+            stage.spilled_bytes = (
+                after["spilled_bytes"] - spill_before["spilled_bytes"]
+            )
+            stage.spill_files = (
+                after["spill_files"] - spill_before["spill_files"]
+            )
         if stage._trace_span is not None:
             stage._trace_span.annotate(
                 records_in=stage.records_in,
                 shuffle_records=stage.shuffle_records,
                 shuffle_bytes=stage.shuffle_bytes,
             )
+            if spill is not None:
+                stage._trace_span.annotate(
+                    spilled_bytes=stage.spilled_bytes,
+                    spill_files=stage.spill_files,
+                    spill_tracked_bytes=spill.tracked_bytes,
+                    spill_peak_tracked_bytes=(
+                        spill.counters.peak_tracked_bytes
+                    ),
+                    spill_budget_bytes=spill.budget_bytes,
+                )
         dep.outputs = outputs
         dep.records = stage.shuffle_records
         dep.bytes = stage.shuffle_bytes

@@ -259,7 +259,7 @@ class Tracer:
                 s.args.get("stats_deltas_discarded", 0) for s in stage_spans
             ),
         }
-        return {
+        digest = {
             "schema_version": TRACE_SCHEMA_VERSION,
             "span_counts": span_counts,
             "event_counts": event_counts,
@@ -272,6 +272,30 @@ class Tracer:
             "stages": stages,
             "accumulators": accumulators,
         }
+        # Out-of-core section, only when stages actually ran under a
+        # memory budget (the scheduler annotates spill args only then) —
+        # budget-free traces keep their historical shape byte for byte.
+        spill_spans = [
+            s for s in stage_spans if "spill_budget_bytes" in s.args
+        ]
+        if spill_spans:
+            digest["spill"] = {
+                "budget_bytes": spill_spans[0].args["spill_budget_bytes"],
+                "spilled_bytes": sum(
+                    s.args.get("spilled_bytes", 0) for s in spill_spans
+                ),
+                "spill_files": sum(
+                    s.args.get("spill_files", 0) for s in spill_spans
+                ),
+                "spill_read_retries": sum(
+                    s.args.get("spill_read_retries", 0) for s in stage_spans
+                ),
+                "peak_tracked_bytes": max(
+                    s.args.get("spill_peak_tracked_bytes", 0)
+                    for s in spill_spans
+                ),
+            }
+        return digest
 
     # ------------------------------------------------------- chrome export
 
