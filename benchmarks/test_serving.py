@@ -1,0 +1,163 @@
+"""Serving-layer throughput: QPS and latency under queries + updates.
+
+Not a paper figure — the serving stack's own benchmark.  It stands up a
+:class:`SearchService` over a ≥100k-ranking :class:`ShardedIndex` (at
+``REPRO_BENCH_SCALE=1``) and drives mixed traffic at it: waves of
+concurrent range queries (with repeats, so the LRU cache sees hits)
+interleaved with inserts and deletes.  Reported per traffic phase:
+
+* QPS and p50/p95 request latency (from the service's own counters),
+* cache hit rate and the request-batching factor (requests per kernel
+  call — the coalescing win),
+* the index's filter-funnel stats for the whole run.
+
+Results land in ``BENCH_serving.json``; the CI smoke asserts QPS > 0 and
+a nonzero cache hit rate at reduced scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from time import perf_counter
+
+from pathlib import Path
+
+from repro.bench import format_series_table, write_bench_json
+from repro.bench.workloads import bench_scale
+from repro.rankings import Ranking, RankingDataset
+from repro.rankings.generator import make_dataset
+from repro.serving import SearchService, ShardedIndex
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BASE_INDEXED = 100_000  # rankings indexed at REPRO_BENCH_SCALE=1
+BASE_QUERIES = 600      # distinct probes per wave
+BASE_UPDATES = 300      # inserts+deletes interleaved with the query load
+THETA = 0.05
+THETA_MAX = 0.1
+NUM_SHARDS = 8
+WAVE_CONCURRENCY = 64   # concurrent in-flight requests per wave
+
+
+def _build_corpus(n: int) -> list:
+    """n paper-shaped rankings (dblp profile, scaled and re-numbered)."""
+    base = make_dataset("dblp", scale=max(1, (n + 1199) // 1200), seed=42)
+    rankings = list(base)[:n]
+    return [Ranking(i, r.items) for i, r in enumerate(rankings)]
+
+
+async def _run_traffic(service, probes, updates, concurrency):
+    """Mixed load: query waves with repeats + a mutation stream."""
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one_query(query):
+        async with semaphore:
+            await service.search(query, THETA)
+
+    async def mutate():
+        for action, payload in updates:
+            if action == "insert":
+                await service.insert(payload)
+            else:
+                await service.delete(payload)
+            await asyncio.sleep(0)
+
+    await asyncio.gather(
+        *(one_query(query) for query in probes), mutate()
+    )
+
+
+def test_serving_throughput(benchmark, report):
+    scale = bench_scale()
+    n = max(2_000, int(BASE_INDEXED * scale))
+    num_queries = max(100, int(BASE_QUERIES * min(1.0, scale * 4)))
+    num_updates = max(50, int(BASE_UPDATES * min(1.0, scale * 4)))
+
+    corpus = _build_corpus(n + num_updates)
+    initial, spares = corpus[:n], corpus[n:]
+
+    build_start = perf_counter()
+    index = ShardedIndex(
+        RankingDataset(initial),
+        kind="prefix",
+        num_shards=NUM_SHARDS,
+        theta_max=THETA_MAX,
+        kernel="vectorized",
+    )
+    build_seconds = perf_counter() - build_start
+
+    rng = random.Random(7)
+    # 50% repeated probes -> the cache has something to hit.
+    distinct = rng.sample(initial, num_queries // 2)
+    probes = distinct + [rng.choice(distinct) for _ in range(num_queries // 2)]
+    rng.shuffle(probes)
+    updates = [("insert", ranking) for ranking in spares[:num_updates // 2]]
+    updates += [
+        ("delete", ranking.rid)
+        for ranking in rng.sample(initial, num_updates - len(updates))
+    ]
+    rng.shuffle(updates)
+
+    service = SearchService(index, cache_size=4096)
+
+    def serve_wave():
+        start = perf_counter()
+        asyncio.run(
+            _run_traffic(service, probes, updates, WAVE_CONCURRENCY)
+        )
+        return perf_counter() - start
+
+    elapsed = benchmark.pedantic(serve_wave, rounds=1, iterations=1)
+    snapshot = service.stats_snapshot(elapsed)
+
+    assert snapshot["qps"] > 0
+    assert snapshot["cache_hit_rate"] > 0
+    assert snapshot["batching_factor"] >= 1.0
+    assert snapshot["stale_hits"] == 0
+    assert len(index) == n  # inserts and deletes balanced out
+
+    columns = ["indexed", "qps", "p50_ms", "p95_ms",
+               "hit_rate", "batch_factor"]
+    series = {
+        "mixed traffic": [
+            n,
+            round(snapshot["qps"], 1),
+            round(snapshot["p50_latency_s"] * 1e3, 3),
+            round(snapshot["p95_latency_s"] * 1e3, 3),
+            round(snapshot["cache_hit_rate"], 3),
+            round(snapshot["batching_factor"], 2),
+        ]
+    }
+    report(
+        "serving",
+        format_series_table(
+            f"Serving: {num_queries} queries + {num_updates} updates over "
+            f"{n} indexed rankings (theta={THETA}, {NUM_SHARDS} shards)",
+            "metric", columns, series, unit="mixed",
+        ),
+    )
+
+    run = {
+        "workload": "dblp-scaled",
+        "indexed_rankings": n,
+        "num_shards": NUM_SHARDS,
+        "theta": THETA,
+        "theta_max": THETA_MAX,
+        "build_seconds": build_seconds,
+        "traffic_seconds": elapsed,
+        "num_queries": num_queries,
+        "num_updates": num_updates,
+        "concurrency": WAVE_CONCURRENCY,
+        **snapshot,
+    }
+    summary = {
+        "qps": snapshot["qps"],
+        "p50_latency_s": snapshot["p50_latency_s"],
+        "p95_latency_s": snapshot["p95_latency_s"],
+        "cache_hit_rate": snapshot["cache_hit_rate"],
+        "batching_factor": snapshot["batching_factor"],
+        "indexed_rankings": n,
+        "join_stats": dict(vars(index.stats)),
+    }
+    write_bench_json(RESULTS_DIR, "serving", [run], extra=summary)

@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the operational loop of the library:
+Five commands cover the operational loop of the library:
 
 * ``generate`` — write a synthetic paper-shaped dataset to a text file;
 * ``join`` — run any algorithm on a dataset file and print/save the pairs;
-* ``stats`` — dataset, posting-list, and clustering statistics for tuning.
+* ``stats`` — dataset, posting-list, and clustering statistics for tuning;
+* ``delta-join`` — join an arrival batch against (and into) an indexed
+  corpus: the streaming complement of ``join``;
+* ``serve`` — run the asyncio search service over a dataset (JSON line
+  protocol over TCP; see DESIGN.md §15).
 
 Example session::
 
@@ -12,6 +16,8 @@ Example session::
     python -m repro stats dblp5.txt --theta 0.3
     python -m repro join dblp5.txt --theta 0.3 --algorithm cl-p \
         --delta 200 -o pairs.txt
+    python -m repro delta-join dblp5.txt arrivals.txt --theta 0.3
+    python -m repro serve dblp5.txt --port 7878
 """
 
 from __future__ import annotations
@@ -154,6 +160,55 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--theta", type=float, default=0.3)
     stats.add_argument("--theta-c", type=float, default=0.03)
 
+    delta = commands.add_parser(
+        "delta-join",
+        help="join an arrival batch against (and into) an indexed corpus",
+    )
+    delta.add_argument("corpus", help="already-indexed dataset file")
+    delta.add_argument("arrivals", help="newly arrived rankings file")
+    delta.add_argument("--theta", type=float, required=True,
+                       help="normalized Footrule threshold in [0, 1]")
+    delta.add_argument("--kind", choices=("prefix", "coarse"),
+                       default="prefix", help="shard index kind")
+    delta.add_argument("--shards", type=int, default=4)
+    delta.add_argument("--theta-max", type=float, default=0.4,
+                       help="largest theta the index supports")
+    delta.add_argument("--theta-c", type=float, default=0.03,
+                       help="clustering radius of coarse shards")
+    delta.add_argument("--kernel", choices=("vectorized", "scalar"),
+                       default="vectorized")
+    delta.add_argument("--within-corpus", action="store_true",
+                       help="also emit the corpus' own self-join pairs "
+                       "(stream the corpus through an empty index first)")
+    delta.add_argument("-o", "--output", default=None,
+                       help="write pairs here instead of stdout")
+
+    serve = commands.add_parser(
+        "serve", help="run the asyncio search service over a dataset"
+    )
+    serve.add_argument("dataset", help="corpus to index and serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7878,
+                       help="TCP port (0 picks a free one; default 7878)")
+    serve.add_argument("--kind", choices=("prefix", "coarse"),
+                       default="prefix")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--theta-max", type=float, default=0.4)
+    serve.add_argument("--theta-c", type=float, default=0.03)
+    serve.add_argument("--kernel", choices=("vectorized", "scalar"),
+                       default="vectorized")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache capacity (0 disables)")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       help="seconds to wait for concurrent requests to "
+                       "coalesce before hitting the kernels")
+    serve.add_argument("--drift-threshold", type=float, default=0.05,
+                       help="auto-recanonicalize when the frequency-order "
+                       "drift score exceeds this (negative disables)")
+    serve.add_argument("--serve-seconds", type=float, default=None,
+                       help="stop after this many seconds (default: run "
+                       "until interrupted; used by tests and smoke runs)")
+
     return parser
 
 
@@ -283,12 +338,114 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _make_serving_index(args, dataset):
+    from .serving import ShardedIndex
+
+    drift = getattr(args, "drift_threshold", None)
+    if drift is not None and drift < 0:
+        drift = None
+    return ShardedIndex(
+        dataset,
+        kind=args.kind,
+        num_shards=args.shards,
+        theta_max=args.theta_max,
+        theta_c=args.theta_c,
+        kernel=args.kernel,
+        drift_threshold=drift,
+    )
+
+
+def _cmd_delta_join(args) -> int:
+    from .serving import ShardedIndex, delta_join
+
+    corpus = RankingDataset.load(args.corpus)
+    arrivals = RankingDataset.load(args.arrivals)
+    if args.within_corpus:
+        index = ShardedIndex(
+            kind=args.kind, num_shards=args.shards,
+            theta_max=args.theta_max, theta_c=args.theta_c,
+            kernel=args.kernel, k=corpus.k,
+        )
+        corpus_result = delta_join(corpus, index, args.theta)
+        print(
+            f"# corpus self-join: {len(corpus_result)} pairs",
+            file=sys.stderr,
+        )
+    else:
+        index = _make_serving_index(args, corpus)
+    result = delta_join(arrivals, index, args.theta)
+
+    lines = [f"{i} {j} {d}" for i, j, d in result.pairs]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    print(
+        f"# {len(result)} delta pairs for {len(arrivals)} arrivals "
+        f"against {len(index) - len(arrivals)} indexed rankings, "
+        f"wall {result.total_seconds:.2f}s, "
+        f"candidates {result.stats.candidates}, "
+        f"verified {result.stats.verified}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serving import SearchService, serve_tcp
+
+    dataset = RankingDataset.load(args.dataset)
+    index = _make_serving_index(args, dataset)
+    service = SearchService(
+        index, cache_size=args.cache_size, batch_window=args.batch_window
+    )
+
+    async def run_server():
+        server = await serve_tcp(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"serving {len(index)} top-{index.k} rankings on "
+            f"{host}:{port} ({args.kind} x{args.shards} shards, "
+            f"theta_max {args.theta_max})",
+            flush=True,
+        )
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        pass
+    snapshot = service.stats_snapshot()
+    print(
+        f"# served {snapshot['requests']} requests, "
+        f"cache hit rate {snapshot['cache_hit_rate']:.1%}, "
+        f"{snapshot['inserts']} inserts, {snapshot['deletes']} deletes",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
         "join": _cmd_join,
         "stats": _cmd_stats,
+        "delta-join": _cmd_delta_join,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -76,6 +76,54 @@ class ItemEncoder:
     def decode(self, code: int):
         return self.items[code]
 
+    def drift_from(self, frozen: "ItemEncoder") -> dict:
+        """How far this (live) dictionary has drifted from a frozen snapshot.
+
+        The serving layer freezes the canonical order when an index is
+        (re)built; as rankings arrive and leave, the *true* frequency
+        order walks away from the frozen one.  Correctness never depends
+        on the frozen order matching reality (any agreed total order
+        works for the prefix bound), but posting-list balance does, so
+        drift is the re-canonicalization trigger.  Returns:
+
+        * ``new_item_fraction`` — share of live items absent from the
+          frozen dictionary (they all sort as maximally rare);
+        * ``mean_displacement`` — mean |live code - frozen code| of the
+          shared items, normalized by the live dictionary size (0 means
+          the orders agree exactly, 1 would mean every item moved across
+          the whole dictionary);
+        * ``score`` — their sum, the scalar a threshold compares against.
+        """
+        size = len(self.items)
+        if size == 0:
+            return {
+                "num_items": 0,
+                "new_item_fraction": 0.0,
+                "mean_displacement": 0.0,
+                "score": 0.0,
+            }
+        frozen_code = frozen.code_of
+        new_items = 0
+        total_displacement = 0
+        shared = 0
+        for code, item in enumerate(self.items):
+            old = frozen_code.get(item)
+            if old is None:
+                new_items += 1
+            else:
+                shared += 1
+                total_displacement += abs(code - old)
+        new_fraction = new_items / size
+        displacement = (
+            total_displacement / shared / size if shared else 0.0
+        )
+        return {
+            "num_items": size,
+            "new_item_fraction": new_fraction,
+            "mean_displacement": displacement,
+            "score": new_fraction + displacement,
+        }
+
 
 def encode_ordered(ranking: Ranking, encoder: ItemEncoder) -> OrderedRanking:
     """Encode and frequency-order one ranking in a single pass.

@@ -22,6 +22,19 @@ of the paper points at this lineage explicitly).  The construction here:
 One centroid distance computation thus stands in for a whole cluster,
 and the inverted index keeps the centroid scan sublinear — the "sweet
 spot" of the prior work's title.
+
+The index is *mutable* for the serving layer: :meth:`CoarseIndex.insert`
+attaches an arriving ranking to the nearest existing cluster (probing the
+centroid index at ``theta_c``), promotes it into a fresh cluster with a
+nearby singleton (smaller id becomes the centroid, the paper's
+convention), or files it as a singleton; :meth:`CoarseIndex.delete`
+removes a ranking from whichever role(s) it plays — deleting a centroid
+dissolves its cluster and re-places every member that is not still
+reachable through another cluster, its own centroid role, or the
+singleton index.  Queries stay exact through any mutation sequence
+because the query path only relies on the invariant that every indexed
+ranking is a singleton, a centroid, or a member within ``theta_c`` of a
+live centroid.
 """
 
 from __future__ import annotations
@@ -31,51 +44,95 @@ from ..joins.types import JoinStats
 from ..joins.verification import verify
 from ..rankings.bounds import raw_threshold
 from ..rankings.dataset import RankingDataset
+from ..rankings.ordering import item_frequencies
 from ..rankings.ranking import Ranking
 from .prefix_index import PrefixIndex
 
 
 class CoarseIndex:
-    """Cluster-pruned range-search index over top-k rankings."""
+    """Cluster-pruned, mutable range-search index over top-k rankings."""
 
     def __init__(
         self,
-        dataset: RankingDataset,
+        dataset: RankingDataset | None = None,
         theta_max: float = 0.4,
         theta_c: float = 0.03,
+        *,
+        k: int | None = None,
+        frequencies: dict | None = None,
+        kernel: str = "scalar",
+        stats: JoinStats | None = None,
     ):
         if not 0.0 <= theta_c <= theta_max:
             raise ValueError(
                 f"need 0 <= theta_c <= theta_max, got {theta_c} / {theta_max}"
             )
-        self.dataset = dataset
-        self.k = dataset.k
+        rankings = list(dataset) if dataset is not None else []
+        self.k = rankings[0].k if rankings else k
         self.theta_max = theta_max
         self.theta_c = theta_c
-        self.theta_c_raw = raw_threshold(theta_c, self.k)
-        self.stats = JoinStats()
-
-        by_id = dataset.by_id()
-        pairs = PrefixFilterJoin(theta_c).join(dataset).pairs
-        members: dict = {}
-        clustered: set = set()
-        for rid_a, rid_b, distance in pairs:
-            members.setdefault(rid_a, []).append((by_id[rid_b], distance))
-            clustered.update((rid_a, rid_b))
+        self.stats = stats if stats is not None else JoinStats()
+        self.frequencies = (
+            dict(frequencies)
+            if frequencies is not None
+            else item_frequencies(rankings)
+        )
+        self._all: dict = {}
         #: centroid id -> [(member, distance to centroid), ...]
-        self._members = members
-        self._centroid_index: PrefixIndex | None = None
-        if members:
-            self._centroid_index = PrefixIndex(
-                RankingDataset([by_id[cid] for cid in sorted(members)]),
-                theta_max=min(1.0, theta_max + theta_c),
+        self._members: dict = {}
+        #: member id -> set of centroid ids whose cluster holds it
+        self._member_of: dict = {}
+        self._centroid_index = PrefixIndex(
+            None,
+            theta_max=min(1.0, theta_max + theta_c),
+            k=self.k,
+            frequencies=self.frequencies,
+            kernel=kernel,
+            stats=stats,
+        )
+        self._singleton_index = PrefixIndex(
+            None,
+            theta_max=theta_max,
+            k=self.k,
+            frequencies=self.frequencies,
+            kernel=kernel,
+            stats=stats,
+        )
+        if rankings:
+            self._build(RankingDataset(rankings))
+
+    def _build(self, dataset: RankingDataset) -> None:
+        """Batch construction: the paper's overlapping-cluster self-join."""
+        by_id = dataset.by_id()
+        pairs = PrefixFilterJoin(self.theta_c).join(dataset).pairs
+        for rid_a, rid_b, distance in pairs:
+            self._members.setdefault(rid_a, []).append(
+                (by_id[rid_b], distance)
             )
-        singleton_rankings = [r for r in dataset if r.rid not in clustered]
-        self._singleton_index: PrefixIndex | None = None
-        if singleton_rankings:
-            self._singleton_index = PrefixIndex(
-                RankingDataset(singleton_rankings), theta_max
-            )
+            self._member_of.setdefault(rid_b, set()).add(rid_a)
+        for cid in sorted(self._members):
+            self._centroid_index.insert(by_id[cid])
+        for ranking in dataset:
+            if (
+                ranking.rid not in self._members
+                and ranking.rid not in self._member_of
+            ):
+                self._singleton_index.insert(ranking)
+        self._all = dict(by_id)
+
+    @property
+    def theta_c_raw(self) -> float | None:
+        return None if self.k is None else raw_threshold(self.theta_c, self.k)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __contains__(self, rid) -> bool:
+        return rid in self._all
+
+    def rankings(self) -> list:
+        """The indexed rankings, in insertion order."""
+        return list(self._all.values())
 
     @property
     def num_clusters(self) -> int:
@@ -83,19 +140,107 @@ class CoarseIndex:
 
     @property
     def num_singletons(self) -> int:
-        if self._singleton_index is None:
-            return 0
         return len(self._singleton_index)
 
     @property
     def total_verifications(self) -> int:
         """All Footrule computations: member + centroid + singleton side."""
-        total = self.stats.verified
-        if self._centroid_index is not None:
-            total += self._centroid_index.stats.verified
-        if self._singleton_index is not None:
-            total += self._singleton_index.stats.verified
-        return total
+        return (
+            self.stats.verified
+            + self._centroid_index.stats.verified
+            + self._singleton_index.stats.verified
+        )
+
+    # ------------------------------------------------------------ mutation
+
+    def insert(self, ranking: Ranking) -> None:
+        """Add one ranking, attaching it to the cluster structure."""
+        if self.k is None:
+            self.k = ranking.k
+        elif ranking.k != self.k:
+            raise ValueError(
+                f"ranking {ranking.rid} has length {ranking.k}, the index "
+                f"holds top-{self.k} rankings"
+            )
+        if ranking.rid in self._all:
+            raise ValueError(
+                f"ranking id {ranking.rid} is already indexed; delete it "
+                "first to replace it"
+            )
+        self._place(ranking)
+        self._all[ranking.rid] = ranking
+
+    def _place(self, ranking: Ranking) -> None:
+        """File one ranking: nearest cluster, singleton promotion, or singleton.
+
+        Deterministic: candidate centroids/singletons are ranked by
+        ``(distance, rid)``, so any replay of the same mutation sequence
+        yields the same structure.
+        """
+        hits = self._centroid_index.query(ranking, self.theta_c)
+        if hits:
+            centroid, distance = hits[0]
+            self._members[centroid.rid].append((ranking, distance))
+            self._member_of.setdefault(ranking.rid, set()).add(centroid.rid)
+            return
+        hits = self._singleton_index.query(ranking, self.theta_c)
+        if hits:
+            partner, distance = hits[0]
+            if partner.rid < ranking.rid:
+                centroid, member = partner, ranking
+            else:
+                centroid, member = ranking, partner
+            self._singleton_index.delete(partner.rid)
+            self._members[centroid.rid] = [(member, distance)]
+            self._member_of.setdefault(member.rid, set()).add(centroid.rid)
+            self._centroid_index.insert(centroid)
+            return
+        self._singleton_index.insert(ranking)
+
+    def delete(self, rid) -> Ranking:
+        """Remove the ranking with id ``rid`` from every role it plays.
+
+        A deleted centroid dissolves its cluster: members still covered
+        elsewhere (another cluster, a centroid role of their own, or the
+        singleton index) just lose this cluster; the rest are re-placed
+        through the insertion path, in rid order.
+        """
+        try:
+            ranking = self._all.pop(rid)
+        except KeyError:
+            raise KeyError(f"ranking id {rid} is not indexed") from None
+        if rid in self._singleton_index:
+            self._singleton_index.delete(rid)
+        for cid in self._member_of.pop(rid, ()):
+            self._members[cid] = [
+                (member, distance)
+                for member, distance in self._members[cid]
+                if member.rid != rid
+            ]
+        if rid in self._members:
+            members = self._members.pop(rid)
+            self._centroid_index.delete(rid)
+            for member, _distance in members:
+                linked = self._member_of.get(member.rid)
+                if linked is not None:
+                    linked.discard(rid)
+                    if not linked:
+                        del self._member_of[member.rid]
+            for member, _distance in sorted(
+                members, key=lambda entry: entry[0].rid
+            ):
+                if member.rid not in self._all:
+                    continue
+                if (
+                    member.rid in self._members
+                    or member.rid in self._member_of
+                    or member.rid in self._singleton_index
+                ):
+                    continue
+                self._place(member)
+        return ranking
+
+    # ------------------------------------------------------------- queries
 
     def query(
         self, query: Ranking, theta: float, include_self: bool = False
@@ -105,23 +250,23 @@ class CoarseIndex:
             raise ValueError(
                 f"theta {theta} exceeds the index's theta_max {self.theta_max}"
             )
+        if not self._all:
+            return []
         theta_raw = raw_threshold(theta, self.k)
         found: dict = {}
 
-        if self._centroid_index is not None:
-            window = min(1.0, theta + self.theta_c)
-            for centroid, centroid_distance in self._centroid_index.query(
-                query, window, include_self=True
-            ):
-                self._expand_cluster(
-                    query, centroid, centroid_distance, theta_raw, found
-                )
+        window = min(1.0, theta + self.theta_c)
+        for centroid, centroid_distance in self._centroid_index.query(
+            query, window, include_self=True
+        ):
+            self._expand_cluster(
+                query, centroid, centroid_distance, theta_raw, found
+            )
 
-        if self._singleton_index is not None:
-            for ranking, distance in self._singleton_index.query(
-                query, theta, include_self=True
-            ):
-                found.setdefault(ranking.rid, (ranking, distance))
+        for ranking, distance in self._singleton_index.query(
+            query, theta, include_self=True
+        ):
+            found.setdefault(ranking.rid, (ranking, distance))
 
         results = _fill_distances(
             query,
@@ -134,6 +279,12 @@ class CoarseIndex:
         results.sort(key=lambda pair: (pair[1], pair[0].rid))
         self.stats.results += len(results)
         return results
+
+    def query_batch(
+        self, queries: list, theta: float, include_self: bool = False
+    ) -> list:
+        """One result list per query (cluster expansion runs per query)."""
+        return [self.query(q, theta, include_self) for q in queries]
 
     def _expand_cluster(
         self, query, centroid, centroid_distance, theta_raw, found

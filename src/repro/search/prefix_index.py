@@ -3,7 +3,7 @@
 The paper's bounds (minimum overlap, prefix sizes, Eq. 4) come from the
 authors' earlier EDBT 2015 paper on *range queries* over top-k rankings
 ("The Sweet Spot between Inverted Indices and Metric-Space Indexing").
-This module provides that substrate: build an index once, then answer
+This module provides that substrate: build an index, then answer
 ``all rankings within distance theta of a query`` repeatedly.
 
 :class:`PrefixIndex` is the pure inverted-index side: rankings are
@@ -12,10 +12,32 @@ a query probes with its own (usually shorter) prefix.  Completeness
 follows from the asymmetric prefix argument — both sides' prefixes are at
 least ``k - o(theta_query) + 1`` because the index side uses
 ``theta_max >= theta_query``.
+
+The index is *mutable*: :meth:`PrefixIndex.insert` and
+:meth:`PrefixIndex.delete` maintain the posting lists incrementally, so
+the serving layer (:mod:`repro.serving`) can keep one index alive under
+a stream of updates.  Correctness under mutation rests on the canonical
+order being *frozen* at construction time: the prefix-filter argument
+needs both sides of a probe to agree on one total item order, not on
+that order reflecting the current frequencies — drift only affects
+posting-list balance, which the serving layer measures and repairs by
+re-canonicalization (rebuilding with a fresh frequency snapshot).
+
+Verification of the surviving candidates runs either through the scalar
+per-pair kernel (``kernel="scalar"``, the oracle) or through the
+vectorized batch kernels of :mod:`repro.joins.kernels`
+(``kernel="vectorized"``): the candidates of a query — or of a whole
+batch of queries via :meth:`PrefixIndex.query_batch` — are localized
+into one :class:`~repro.joins.kernels.GroupColumns` view and settled by
+a single :func:`~repro.joins.kernels.batch_filter_verify` call, with
+byte-identical results, distances, and stats counters.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..joins.kernels import GroupColumns, batch_filter_verify
 from ..joins.types import JoinStats
 from ..joins.verification import verify, violates_position_filter
 from ..rankings.bounds import overlap_prefix_size, raw_threshold
@@ -23,74 +45,157 @@ from ..rankings.dataset import RankingDataset
 from ..rankings.ordering import item_frequencies, order_ranking
 from ..rankings.ranking import Ranking
 
+KERNELS = ("scalar", "vectorized")
+
 
 class PrefixIndex:
-    """Inverted index over canonical ranking prefixes for range queries.
+    """Mutable inverted index over canonical ranking prefixes.
 
     Parameters
     ----------
     dataset:
-        The rankings to index.
+        The rankings to index, or ``None`` for an initially empty index
+        (rankings arrive through :meth:`insert`).
     theta_max:
         Largest normalized threshold queries may use; indexing prefix
         sizes are derived from it (a larger ``theta_max`` means longer
         posting lists but a wider usable query range).
     use_position_filter:
         Apply the rank-displacement filter before verification.
+    k:
+        Ranking length for an empty index; inferred from ``dataset`` (or
+        from the first insert) when omitted.
+    frequencies:
+        Frozen item-frequency table defining the canonical order.  By
+        default it is computed from ``dataset``; the serving layer
+        passes one shared snapshot so every shard (and every later
+        insert) agrees on a single total order.
+    kernel:
+        Candidate verification: ``"scalar"`` (per-pair, the oracle) or
+        ``"vectorized"`` (one batch kernel call per query or query
+        batch).  Results, distances, and stats are identical.
+    stats:
+        Optional externally owned :class:`JoinStats` to accumulate into
+        (the serving layer shares one across shards and rebuilds).
     """
 
     def __init__(
         self,
-        dataset: RankingDataset,
+        dataset: RankingDataset | None = None,
         theta_max: float = 0.4,
         use_position_filter: bool = True,
+        *,
+        k: int | None = None,
+        frequencies: dict | None = None,
+        kernel: str = "scalar",
+        stats: JoinStats | None = None,
     ):
         if not 0.0 <= theta_max <= 1.0:
             raise ValueError(f"theta_max must be in [0, 1], got {theta_max}")
-        self.dataset = dataset
-        self.k = dataset.k
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
+        rankings = list(dataset) if dataset is not None else []
+        self.k = rankings[0].k if rankings else k
         self.theta_max = theta_max
         self.use_position_filter = use_position_filter
-        self.frequencies = item_frequencies(dataset.rankings)
-        index_prefix = overlap_prefix_size(
-            raw_threshold(theta_max, self.k), self.k
+        self.kernel = kernel
+        self.frequencies = (
+            dict(frequencies)
+            if frequencies is not None
+            else item_frequencies(rankings)
         )
+        self._by_id: dict = {}
         self._postings: dict = {}
-        for ranking in dataset:
-            ordered = order_ranking(ranking, self.frequencies)
-            for item, _rank in ordered.prefix(index_prefix):
-                self._postings.setdefault(item, []).append(ranking)
-        self.stats = JoinStats()
+        self._index_prefix: int | None = None
+        self.stats = stats if stats is not None else JoinStats()
+        for ranking in rankings:
+            self.insert(ranking)
 
     def __len__(self) -> int:
-        return len(self.dataset)
+        return len(self._by_id)
+
+    def __contains__(self, rid) -> bool:
+        return rid in self._by_id
+
+    def rankings(self) -> list:
+        """The indexed rankings, in insertion order."""
+        return list(self._by_id.values())
 
     @property
     def num_posting_lists(self) -> int:
         return len(self._postings)
 
-    def query(
-        self, query: Ranking, theta: float, include_self: bool = False
-    ) -> list:
-        """All indexed rankings within normalized distance ``theta``.
+    @property
+    def index_prefix(self) -> int | None:
+        """Indexing prefix size for ``theta_max`` (``None`` until k is known)."""
+        if self._index_prefix is None and self.k is not None:
+            self._index_prefix = overlap_prefix_size(
+                raw_threshold(self.theta_max, self.k), self.k
+            )
+        return self._index_prefix
 
-        Returns ``(ranking, raw_distance)`` pairs sorted by distance.
-        ``include_self`` controls whether an indexed ranking with the
-        query's own id is reported.
+    # ------------------------------------------------------------ mutation
+
+    def _prefix_items(self, ranking: Ranking):
+        ordered = order_ranking(ranking, self.frequencies)
+        return [item for item, _rank in ordered.prefix(self.index_prefix)]
+
+    def insert(self, ranking: Ranking) -> None:
+        """Add one ranking to the index under the frozen canonical order."""
+        if self.k is None:
+            self.k = ranking.k
+        elif ranking.k != self.k:
+            raise ValueError(
+                f"ranking {ranking.rid} has length {ranking.k}, the index "
+                f"holds top-{self.k} rankings"
+            )
+        if ranking.rid in self._by_id:
+            raise ValueError(
+                f"ranking id {ranking.rid} is already indexed; delete it "
+                "first to replace it"
+            )
+        for item in self._prefix_items(ranking):
+            self._postings.setdefault(item, []).append(ranking)
+        self._by_id[ranking.rid] = ranking
+
+    def delete(self, rid) -> Ranking:
+        """Remove the ranking with id ``rid``; returns it.
+
+        The posting lists touched are exactly the ones :meth:`insert`
+        appended to, because both walk the same frozen canonical prefix.
         """
+        try:
+            ranking = self._by_id.pop(rid)
+        except KeyError:
+            raise KeyError(f"ranking id {rid} is not indexed") from None
+        for item in self._prefix_items(ranking):
+            posting = self._postings[item]
+            posting.remove(ranking)
+            if not posting:
+                del self._postings[item]
+        return ranking
+
+    # ------------------------------------------------------------- queries
+
+    def _validate_query(self, query: Ranking, theta: float) -> None:
         if theta > self.theta_max:
             raise ValueError(
                 f"theta {theta} exceeds the index's theta_max {self.theta_max}"
             )
-        if query.k != self.k:
+        if self.k is not None and query.k != self.k:
             raise ValueError(
                 f"query has length {query.k}, index holds top-{self.k} rankings"
             )
-        theta_raw = raw_threshold(theta, self.k)
+
+    def _gather_candidates(
+        self, query: Ranking, theta_raw: float, include_self: bool
+    ) -> list:
+        """Unique indexed rankings sharing a probe-prefix item with ``query``."""
         probe_prefix = overlap_prefix_size(theta_raw, self.k)
         ordered = order_ranking(query, self.frequencies)
-
-        results: list = []
+        candidates: list = []
         seen: set = set()
         for item, _rank in ordered.prefix(probe_prefix):
             for candidate in self._postings.get(item, ()):
@@ -99,33 +204,148 @@ class PrefixIndex:
                 seen.add(candidate.rid)
                 if not include_self and candidate.rid == query.rid:
                     continue
-                self.stats.candidates += 1
-                if self.use_position_filter and violates_position_filter(
-                    query, candidate, theta_raw
-                ):
-                    self.stats.position_filtered += 1
-                    continue
-                self.stats.verified += 1
-                distance = verify(query, candidate, theta_raw)
-                if distance is not None:
-                    results.append((candidate, distance))
+                candidates.append(candidate)
+        return candidates
+
+    def _verify_scalar(self, query, candidates, theta_raw) -> list:
+        results: list = []
+        for candidate in candidates:
+            if self.use_position_filter and violates_position_filter(
+                query, candidate, theta_raw
+            ):
+                self.stats.position_filtered += 1
+                continue
+            self.stats.verified += 1
+            distance = verify(query, candidate, theta_raw)
+            if distance is not None:
+                results.append((candidate, distance))
+        return results
+
+    def query(
+        self, query: Ranking, theta: float, include_self: bool = False
+    ) -> list:
+        """All indexed rankings within normalized distance ``theta``.
+
+        Returns ``(ranking, raw_distance)`` pairs sorted by distance.
+        ``include_self`` controls whether an indexed ranking with the
+        query's own id is reported.  An empty index returns ``[]``.
+        """
+        self._validate_query(query, theta)
+        if not self._by_id:
+            return []
+        theta_raw = raw_threshold(theta, self.k)
+        candidates = self._gather_candidates(query, theta_raw, include_self)
+        self.stats.candidates += len(candidates)
+        results = None
+        if self.kernel == "vectorized" and candidates:
+            results = self._verify_batch(
+                [query], [candidates], theta_raw
+            )
+        if results is None:
+            results = [self._verify_scalar(query, candidates, theta_raw)]
+        results = results[0]
         results.sort(key=lambda pair: (pair[1], pair[0].rid))
         self.stats.results += len(results)
         return results
 
+    def query_batch(
+        self, queries: list, theta: float, include_self: bool = False
+    ) -> list:
+        """Answer many queries at once; one kernel call for the whole batch.
+
+        Returns one result list per query, each identical to
+        :meth:`query` on that query alone (stats totals match too — the
+        per-query counters simply sum).  With ``kernel="scalar"`` this
+        degenerates to a loop.
+        """
+        for query in queries:
+            self._validate_query(query, theta)
+        if not self._by_id or not queries:
+            return [[] for _ in queries]
+        if self.kernel != "vectorized":
+            return [self.query(q, theta, include_self) for q in queries]
+        theta_raw = raw_threshold(theta, self.k)
+        per_query = [
+            self._gather_candidates(q, theta_raw, include_self)
+            for q in queries
+        ]
+        self.stats.candidates += sum(len(c) for c in per_query)
+        results = self._verify_batch(queries, per_query, theta_raw)
+        if results is None:
+            results = [
+                self._verify_scalar(q, c, theta_raw)
+                for q, c in zip(queries, per_query)
+            ]
+        for result in results:
+            result.sort(key=lambda pair: (pair[1], pair[0].rid))
+            self.stats.results += len(result)
+        return results
+
+    def _verify_batch(self, queries, per_query, theta_raw):
+        """Settle all (query, candidate) pairs in one vectorized kernel call.
+
+        Returns per-query result lists, or ``None`` when the localized
+        view exceeds the kernel's memory cap (callers fall back to the
+        scalar oracle before touching any counter).
+        """
+        unique: dict = {}
+        for candidates in per_query:
+            for candidate in candidates:
+                unique.setdefault(candidate.rid, candidate)
+        members = list(queries) + list(unique.values())
+        row_of = {rid: len(queries) + row for row, rid in enumerate(unique)}
+        cols = GroupColumns.from_rankings(members)
+        if cols is None:
+            return None
+        a_idx = np.fromiter(
+            (
+                row
+                for row, candidates in enumerate(per_query)
+                for _ in candidates
+            ),
+            dtype=np.int64,
+        )
+        b_idx = np.fromiter(
+            (
+                row_of[candidate.rid]
+                for candidates in per_query
+                for candidate in candidates
+            ),
+            dtype=np.int64,
+        )
+        totals, filtered, admitted = batch_filter_verify(
+            cols, a_idx, b_idx, theta_raw,
+            use_position_filter=self.use_position_filter,
+        )
+        self.stats.position_filtered += int(filtered.sum())
+        self.stats.verified += len(a_idx) - int(filtered.sum())
+        results: list = []
+        offset = 0
+        for candidates in per_query:
+            matches: list = []
+            for local, candidate in enumerate(candidates):
+                if admitted[offset + local]:
+                    matches.append((candidate, int(totals[offset + local])))
+            offset += len(candidates)
+            results.append(matches)
+        return results
+
 
 def knn_search(
-    index: PrefixIndex,
+    index,
     query: Ranking,
     n: int,
     initial_theta: float = 0.05,
 ) -> list:
     """The ``n`` most similar indexed rankings to ``query``.
 
-    Classic radius-doubling on top of the range index: query at a small
+    Classic radius-doubling on top of any range index (:class:`PrefixIndex`,
+    :class:`~repro.search.coarse_index.CoarseIndex`, or a serving-layer
+    :class:`~repro.serving.sharded.ShardedIndex`): query at a small
     threshold, double it until ``n`` results (or the index's
     ``theta_max``) is reached, then cut to the best ``n``.  Distance ties
     at the cut are broken by ranking id, so results are deterministic.
+    An empty (or fully deleted) index cleanly yields ``[]``.
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
@@ -140,18 +360,28 @@ def knn_search(
 
 
 def range_search_bruteforce(
-    dataset: RankingDataset,
+    dataset,
     query: Ranking,
     theta: float,
     include_self: bool = False,
 ) -> list:
-    """Ground-truth linear scan for the range-search tests."""
+    """Ground-truth linear scan for the range-search tests.
+
+    ``dataset`` is any iterable of rankings with a ``k`` attribute (a
+    :class:`~repro.rankings.dataset.RankingDataset` or an index's
+    ``rankings()`` wrapped accordingly); plain lists work too when
+    non-empty.
+    """
     from ..rankings.distances import footrule
 
-    theta_raw = raw_threshold(theta, dataset.k)
+    rankings = list(dataset)
+    if not rankings:
+        return []
+    k = getattr(dataset, "k", None) or rankings[0].k
+    theta_raw = raw_threshold(theta, k)
     results = [
         (r, footrule(query, r))
-        for r in dataset
+        for r in rankings
         if (include_self or r.rid != query.rid)
         and footrule(query, r) <= theta_raw
     ]

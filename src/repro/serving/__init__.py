@@ -1,0 +1,15 @@
+"""Online serving layer: mutable sharded indexes, delta joins, asyncio
+front end.  See DESIGN.md §15."""
+
+from .delta import delta_join
+from .service import SearchService, ServiceMetrics, serve_tcp
+from .sharded import INDEX_KINDS, ShardedIndex
+
+__all__ = [
+    "INDEX_KINDS",
+    "SearchService",
+    "ServiceMetrics",
+    "ShardedIndex",
+    "delta_join",
+    "serve_tcp",
+]

@@ -99,3 +99,108 @@ class TestStats:
         import importlib.util
 
         assert importlib.util.find_spec("repro.__main__") is not None
+
+
+class TestDeltaJoin:
+    @pytest.fixture
+    def split_files(self, tmp_path, small_dblp):
+        rankings = list(small_dblp)
+        corpus = RankingDataset(rankings[:80])
+        arrivals = RankingDataset(rankings[80:])
+        corpus_path = tmp_path / "corpus.txt"
+        arrivals_path = tmp_path / "arrivals.txt"
+        corpus.save(corpus_path)
+        arrivals.save(arrivals_path)
+        return str(corpus_path), str(arrivals_path)
+
+    def test_emits_only_arrival_pairs(self, split_files, capsys, small_dblp):
+        corpus_path, arrivals_path = split_files
+        code = main(
+            ["delta-join", corpus_path, arrivals_path, "--theta", "0.25"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "delta pairs" in captured.err
+        arrival_rids = {r.rid for r in list(small_dblp)[80:]}
+        for line in captured.out.splitlines():
+            i, j, d = line.split()
+            # Every emitted pair involves at least one arrival.
+            assert int(i) in arrival_rids or int(j) in arrival_rids
+            assert int(i) < int(j) and int(d) >= 0
+
+    def test_within_corpus_reproduces_batch_join(
+        self, split_files, tmp_path, capsys, small_dblp
+    ):
+        corpus_path, arrivals_path = split_files
+        out = tmp_path / "delta_pairs.txt"
+        code = main(
+            ["delta-join", corpus_path, arrivals_path, "--theta", "0.25",
+             "--within-corpus", "-o", str(out)]
+        )
+        assert code == 0
+        assert "corpus self-join" in capsys.readouterr().err
+        from repro.joins import similarity_join
+
+        batch = similarity_join(
+            small_dblp, 0.25, algorithm="local"
+        ).with_distances(small_dblp)
+        # corpus self-join pairs went to stderr count only; the file holds
+        # the arrival delta — its union with the corpus join is the batch
+        # result, so every file pair must be a batch pair.
+        batch_pairs = {(i, j) for i, j, _d in batch.pairs}
+        file_pairs = {
+            tuple(map(int, line.split()[:2]))
+            for line in out.read_text().splitlines()
+        }
+        assert file_pairs <= batch_pairs
+
+    def test_coarse_kind_and_scalar_kernel(self, split_files, capsys):
+        corpus_path, arrivals_path = split_files
+        code = main(
+            ["delta-join", corpus_path, arrivals_path, "--theta", "0.2",
+             "--kind", "coarse", "--kernel", "scalar", "--shards", "2"]
+        )
+        assert code == 0
+        assert "delta pairs" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serves_and_exits_after_deadline(self, dataset_file, capsys):
+        code = main(
+            ["serve", dataset_file, "--port", "0",
+             "--serve-seconds", "0.05"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "serving" in captured.out
+        assert "served 0 requests" in captured.err
+
+    def test_serve_roundtrip_over_tcp(self, dataset_file, small_dblp):
+        import json
+        import socket
+        import subprocess
+        import sys as _sys
+        import time
+
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", dataset_file,
+             "--port", "0", "--serve-seconds", "5"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving" in banner
+            address = banner.split(" on ")[1].split(" ")[0]
+            host, port = address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=5) as s:
+                query = {"op": "query",
+                         "items": list(small_dblp[0].items),
+                         "theta": 0.2, "include_self": True}
+                s.sendall((json.dumps(query) + "\n").encode())
+                reply = json.loads(s.makefile().readline())
+            assert [small_dblp[0].rid, 0] in reply["results"]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

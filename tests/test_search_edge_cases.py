@@ -3,7 +3,13 @@
 import pytest
 
 from repro.rankings import Ranking, RankingDataset
-from repro.search import CoarseIndex, PrefixIndex, range_search_bruteforce
+from repro.search import (
+    CoarseIndex,
+    PrefixIndex,
+    knn_search,
+    range_search_bruteforce,
+)
+from repro.serving import ShardedIndex
 
 
 def _ids(results):
@@ -81,3 +87,163 @@ class TestCoarseMatchesPrefixOnRealData:
         coarse_index = CoarseIndex(small_orku, theta_max=0.3, theta_c=0.03)
         coarse_index.query(small_orku[0], 0.2)
         assert coarse_index.total_verifications >= coarse_index.stats.verified
+
+
+def _clones(n, items=(1, 2, 3, 4, 5)):
+    return [Ranking(i, items) for i in range(n)]
+
+
+class TestDeletion:
+    """Mutation edge cases the build-once indexes never hit."""
+
+    @pytest.mark.parametrize("make", (
+        lambda ds: PrefixIndex(ds, theta_max=0.3),
+        lambda ds: CoarseIndex(ds, theta_max=0.3, theta_c=0.03),
+        lambda ds: ShardedIndex(ds, kind="prefix", num_shards=3,
+                                theta_max=0.3),
+        lambda ds: ShardedIndex(ds, kind="coarse", num_shards=3,
+                                theta_max=0.3),
+    ))
+    def test_delete_then_reinsert_same_rid(self, make):
+        dataset = RankingDataset(
+            [Ranking(0, [1, 2, 3]), Ranking(1, [1, 2, 4]),
+             Ranking(2, [5, 6, 7])]
+        )
+        index = make(dataset)
+        deleted = index.delete(1)
+        assert deleted.rid == 1
+        assert 1 not in index
+        assert {r.rid for r, _d in index.query(dataset[0], 0.3,
+                                               include_self=True)} <= {0, 2}
+        # Reinsert under the same rid with a *different* payload.
+        replacement = Ranking(1, (5, 6, 3))
+        index.insert(replacement)
+        assert 1 in index
+        results = dict(
+            (r.rid, d)
+            for r, d in index.query(replacement, 0.0, include_self=True)
+        )
+        assert results[1] == 0
+
+    def test_delete_cluster_centroid_preserves_answers(self):
+        # Two tight near-duplicate groups; deleting a centroid must
+        # re-place its members, not lose them.
+        group_a = [Ranking(i, (1, 2, 3, 4, 5)) for i in range(4)]
+        group_b = [Ranking(10 + i, (6, 7, 8, 9, 10)) for i in range(3)]
+        index = CoarseIndex(
+            RankingDataset(group_a + group_b), theta_max=0.3, theta_c=0.05
+        )
+        assert index.num_clusters > 0
+        centroid_rid = min(index._members)
+        index.delete(centroid_rid)
+        assert centroid_rid not in index
+        survivors = [r for r in group_a + group_b if r.rid != centroid_rid]
+        probe = group_a[0] if centroid_rid != 0 else group_a[1]
+        assert _ids(index.query(probe, 0.2, include_self=True)) == _ids(
+            range_search_bruteforce(survivors, probe, 0.2, include_self=True)
+        )
+        # Every survivor still plays some role.
+        for ranking in survivors:
+            assert ranking.rid in index
+
+    @pytest.mark.parametrize("make", (
+        lambda ds: PrefixIndex(ds, theta_max=0.3),
+        lambda ds: CoarseIndex(ds, theta_max=0.3, theta_c=0.03),
+        lambda ds: ShardedIndex(ds, kind="coarse", num_shards=2,
+                                theta_max=0.3),
+    ))
+    def test_delete_down_to_empty_then_refill(self, make):
+        dataset = RankingDataset(_clones(5))
+        index = make(dataset)
+        for rid in range(5):
+            index.delete(rid)
+        assert len(index) == 0
+        assert index.query(dataset[0], 0.3, include_self=True) == []
+        assert knn_search(index, dataset[0], 3) == []
+        # The emptied index accepts new rankings and answers again.
+        index.insert(Ranking(7, (1, 2, 3, 4, 5)))
+        assert _ids(index.query(dataset[0], 0.0, include_self=True)) == {
+            (7, 0)
+        }
+
+    def test_query_mid_recanonicalization(self):
+        rankings = [
+            Ranking(i, tuple(range(i, i + 5))) for i in range(12)
+        ]
+        index = ShardedIndex(
+            RankingDataset(rankings), kind="prefix", num_shards=4,
+            theta_max=0.3,
+        )
+        # Drift the live order hard, then check exactness at every
+        # partial rebuild state.
+        for i in range(12, 24):
+            index.insert(Ranking(i, tuple(range(50 + i, 55 + i))))
+        probe = rankings[3]
+        truth = _ids(
+            range_search_bruteforce(
+                index.rankings(), probe, 0.25, include_self=True
+            )
+        )
+        steps = 0
+        for _shard in index.recanonicalize_steps():
+            assert _ids(index.query(probe, 0.25, include_self=True)) == truth
+            steps += 1
+        assert steps == 4
+        assert index.drift()["score"] == 0.0
+
+    def test_double_delete_and_missing_delete_raise(self):
+        index = PrefixIndex(RankingDataset(_clones(2)), theta_max=0.2)
+        index.delete(0)
+        with pytest.raises(KeyError):
+            index.delete(0)
+        with pytest.raises(KeyError):
+            CoarseIndex(
+                RankingDataset(_clones(2)), theta_max=0.2, theta_c=0.03
+            ).delete(99)
+
+    def test_duplicate_insert_raises(self):
+        for index in (
+            PrefixIndex(RankingDataset(_clones(2)), theta_max=0.2),
+            CoarseIndex(
+                RankingDataset(_clones(2)), theta_max=0.2, theta_c=0.03
+            ),
+        ):
+            with pytest.raises(ValueError):
+                index.insert(Ranking(1, (1, 2, 3, 4, 5)))
+
+
+class TestEmptyIndex:
+    """Serving code relies on clean empty results, not exceptions."""
+
+    @pytest.mark.parametrize("index", (
+        PrefixIndex(theta_max=0.3),
+        CoarseIndex(theta_max=0.3, theta_c=0.03),
+        ShardedIndex(kind="prefix", num_shards=2, theta_max=0.3),
+        ShardedIndex(kind="coarse", num_shards=2, theta_max=0.3),
+    ))
+    def test_fresh_empty_index_queries_cleanly(self, index):
+        probe = Ranking(0, (1, 2, 3))
+        assert len(index) == 0
+        assert index.query(probe, 0.2) == []
+        assert index.query_batch([probe, probe], 0.2) == [[], []]
+        assert knn_search(index, probe, 5) == []
+        assert 0 not in index
+
+    def test_empty_bruteforce(self):
+        assert range_search_bruteforce([], Ranking(0, (1, 2)), 0.5) == []
+
+    def test_knn_on_all_deleted_sharded_index(self):
+        rankings = _clones(6)
+        index = ShardedIndex(
+            RankingDataset(rankings), kind="prefix", num_shards=3,
+            theta_max=0.3,
+        )
+        for ranking in rankings:
+            index.delete(ranking.rid)
+        assert index.knn(rankings[0], 3) == []
+        assert index.query(rankings[0], 0.3, include_self=True) == []
+
+    def test_theta_validation_still_applies_when_empty(self):
+        index = PrefixIndex(theta_max=0.2)
+        with pytest.raises(ValueError):
+            index.query(Ranking(0, (1, 2, 3)), 0.5)

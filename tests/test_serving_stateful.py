@@ -1,0 +1,182 @@
+"""Stateful serving test: random op sequences vs a brute-force model.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` drives arbitrary
+insert/delete/query/recanonicalize sequences against one
+:class:`ShardedIndex` per run, holding a plain dict of the live rankings
+as the oracle.  Each machine variant pins one cell of the
+(index kind × kernel) grid, and the ``query``/``query_batch`` rules also
+exercise both prefix token shapes implicitly (the vectorized kernel runs
+the compact localized path, the scalar kernel the legacy per-pair path).
+
+Invariants checked after every step:
+
+* ``len(index)`` and the indexed rid set equal the model's;
+* every range query (random theta, random probe — resident or foreign)
+  equals ``range_search_bruteforce`` over the model, distances included;
+* ``knn`` returns the brute-force top-n (same distance multiset);
+* drift is 0 right after a recanonicalization.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.rankings import Ranking
+from repro.rankings.bounds import raw_threshold
+from repro.rankings.distances import footrule
+from repro.search import range_search_bruteforce
+from repro.serving import ShardedIndex
+
+K = 4
+DOMAIN = list(range(9))
+
+items_strategy = st.permutations(DOMAIN).map(lambda p: tuple(p[:K]))
+thetas = st.sampled_from([0.0, 0.1, 0.2, 0.3])
+
+
+class ServingMachine(RuleBasedStateMachine):
+    kind = "prefix"
+    kernel = "scalar"
+
+    @initialize(num_shards=st.integers(min_value=1, max_value=4))
+    def setup(self, num_shards):
+        self.index = ShardedIndex(
+            kind=self.kind,
+            num_shards=num_shards,
+            theta_max=0.3,
+            kernel=self.kernel,
+            k=K,
+        )
+        self.model = {}
+        self.next_rid = 0
+
+    @rule(items=items_strategy)
+    def insert(self, items):
+        ranking = Ranking(self.next_rid, items)
+        self.next_rid += 1
+        self.index.insert(ranking)
+        self.model[ranking.rid] = ranking
+
+    @rule(items=items_strategy, data=st.data())
+    def reinsert_deleted_rid(self, items, data):
+        """Recycle a previously used rid with a possibly different payload."""
+        used = self.next_rid
+        if not used:
+            return
+        rid = data.draw(st.integers(min_value=0, max_value=used - 1))
+        if rid in self.model:
+            self.index.delete(rid)
+            del self.model[rid]
+        ranking = Ranking(rid, items)
+        self.index.insert(ranking)
+        self.model[rid] = ranking
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.model:
+            return
+        rid = data.draw(st.sampled_from(sorted(self.model)))
+        deleted = self.index.delete(rid)
+        assert deleted.rid == rid
+        del self.model[rid]
+
+    @rule()
+    def recanonicalize(self):
+        self.index.recanonicalize()
+        assert self.index.drift()["score"] == 0.0
+
+    @rule(theta=thetas, probe=items_strategy, data=st.data())
+    def query(self, theta, probe, data):
+        if self.model and data.draw(st.booleans()):
+            query = self.model[data.draw(st.sampled_from(sorted(self.model)))]
+        else:
+            query = Ranking(10_000 + self.next_rid, probe)
+        got = [
+            (r.rid, d)
+            for r, d in self.index.query(query, theta, include_self=True)
+        ]
+        want = [
+            (r.rid, d)
+            for r, d in range_search_bruteforce(
+                list(self.model.values()), query, theta, include_self=True
+            )
+        ]
+        assert got == want
+
+    @rule(theta=thetas, probes=st.lists(items_strategy, max_size=4))
+    def query_batch(self, theta, probes):
+        queries = [
+            Ranking(20_000 + i, items) for i, items in enumerate(probes)
+        ]
+        batched = self.index.query_batch(queries, theta, include_self=True)
+        for query, results in zip(queries, batched):
+            got = [(r.rid, d) for r, d in results]
+            want = [
+                (r.rid, d)
+                for r, d in range_search_bruteforce(
+                    list(self.model.values()), query, theta,
+                    include_self=True,
+                )
+            ]
+            assert got == want
+
+    @rule(probe=items_strategy, n=st.integers(min_value=1, max_value=5))
+    def knn(self, probe, n):
+        """knn returns the brute-force top-n among neighbors the index can
+        see at all (radius doubling is capped at theta_max)."""
+        query = Ranking(30_000, probe)
+        got = self.index.knn(query, n)
+        cap = raw_threshold(self.index.theta_max, K)
+        ordered = sorted(
+            (footrule(query, r), r.rid)
+            for r in self.model.values()
+            if footrule(query, r) <= cap
+        )
+        assert len(got) == min(n, len(ordered))
+        assert [d for _r, d in got] == [d for d, _rid in ordered[: len(got)]]
+
+    @invariant()
+    def sizes_agree(self):
+        if not hasattr(self, "model"):
+            return
+        assert len(self.index) == len(self.model)
+        assert sorted(r.rid for r in self.index.rankings()) == sorted(
+            self.model
+        )
+        for rid in self.model:
+            assert rid in self.index
+
+
+class PrefixScalarMachine(ServingMachine):
+    kind, kernel = "prefix", "scalar"
+
+
+class PrefixVectorizedMachine(ServingMachine):
+    kind, kernel = "prefix", "vectorized"
+
+
+class CoarseScalarMachine(ServingMachine):
+    kind, kernel = "coarse", "scalar"
+
+
+class CoarseVectorizedMachine(ServingMachine):
+    kind, kernel = "coarse", "vectorized"
+
+
+_settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestPrefixScalar = PrefixScalarMachine.TestCase
+TestPrefixScalar.settings = _settings
+TestPrefixVectorized = PrefixVectorizedMachine.TestCase
+TestPrefixVectorized.settings = _settings
+TestCoarseScalar = CoarseScalarMachine.TestCase
+TestCoarseScalar.settings = _settings
+TestCoarseVectorized = CoarseVectorizedMachine.TestCase
+TestCoarseVectorized.settings = _settings
