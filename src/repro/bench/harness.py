@@ -66,6 +66,9 @@ class RunConfig:
     #: Shuffle memory budget for out-of-core runs (None: all in memory).
     memory_budget_bytes: int | None = None
     spill_dir: str | None = None
+    #: Broadcast plane: True forces shared memory, False forces pickle,
+    #: None (default) auto-detects.  Results are identical either way.
+    shm_broadcast: bool | None = None
     #: Benchmarks are self-profiling by default: the run's trace digest
     #: (stage counts, phases, skew) is stamped into the record.
     trace: bool = True
@@ -88,6 +91,7 @@ class RunRecord:
     shuffle_bytes: int = 0
     recovery: dict = field(default_factory=dict)
     spill: dict = field(default_factory=dict)
+    broadcast: dict = field(default_factory=dict)
     trace_digest: dict = field(default_factory=dict)
     dnf: bool = False
 
@@ -121,6 +125,7 @@ def run(
         tracer=config.trace,
         memory_budget_bytes=config.memory_budget_bytes,
         spill_dir=config.spill_dir,
+        shm_broadcast=config.shm_broadcast,
     )
     if ctx.executor.name == "processes" and config.token_format == "legacy":
         # Compact tokens never ship ranking objects, so prebuilding the
@@ -133,6 +138,7 @@ def run(
         result = _dispatch(ctx, dataset, config)
         wall = perf_counter() - start
         spill_summary = ctx.spill_summary()
+        broadcast_summary = ctx.broadcast_summary()
     finally:
         # Same spill hygiene as similarity_join: no segment file
         # outlives the run, whatever happened (counters survive).
@@ -154,6 +160,7 @@ def run(
         shuffle_bytes=combined.total_shuffle_bytes,
         recovery=ctx.metrics.recovery_summary(),
         spill=spill_summary,
+        broadcast=broadcast_summary,
         trace_digest=(
             ctx.tracer.digest() if ctx.tracer is not None else {}
         ),

@@ -129,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default=0.0,
                       help="per-write probability of an injected ENOSPC "
                       "on a spill segment (retried up to the fault cap)")
+    join.add_argument("--chaos-shm-unlink-rate", type=float, default=0.0,
+                      help="per-broadcast probability that the shared-"
+                      "memory segment is unlinked before the first stage "
+                      "uses it (recovered by falling back to pickle)")
     join.add_argument("--memory-budget", type=parse_bytes, default=None,
                       metavar="BYTES",
                       help="shuffle memory budget; buckets over budget "
@@ -138,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--spill-dir", default=None, metavar="DIR",
                       help="parent directory for spill segment files "
                       "(default: system temp; needs --memory-budget)")
+    join.add_argument("--no-shm", action="store_true",
+                      help="disable the zero-copy shared-memory broadcast "
+                      "plane and ship broadcast payloads by pickle "
+                      "(results and stats are identical either way)")
     join.add_argument("--speculation", action="store_true",
                       help="duplicate straggling tasks on parallel "
                       "backends (first finished attempt wins)")
@@ -240,7 +248,8 @@ def _cmd_join(args) -> int:
     chaos = None
     if (args.chaos_rate or args.chaos_straggler_rate or args.chaos_kill_rate
             or args.chaos_spill_fault_rate
-            or args.chaos_spill_write_error_rate):
+            or args.chaos_spill_write_error_rate
+            or args.chaos_shm_unlink_rate):
         chaos = FaultPlan(
             seed=args.chaos_seed,
             transient_rate=args.chaos_rate,
@@ -248,6 +257,7 @@ def _cmd_join(args) -> int:
             kill_rate=args.chaos_kill_rate,
             spill_fault_rate=args.chaos_spill_fault_rate,
             spill_write_error_rate=args.chaos_spill_write_error_rate,
+            shm_unlink_rate=args.chaos_shm_unlink_rate,
         )
     ctx = Context(
         default_parallelism=args.partitions,
@@ -257,6 +267,7 @@ def _cmd_join(args) -> int:
         tracer=True if (args.trace_out or args.trace_summary) else None,
         memory_budget_bytes=args.memory_budget,
         spill_dir=args.spill_dir,
+        shm_broadcast=False if args.no_shm else None,
     )
     result = similarity_join(
         dataset, args.theta, algorithm=args.algorithm, ctx=ctx,
@@ -301,6 +312,22 @@ def _cmd_join(args) -> int:
             f"write errors {spill['write_errors']}, "
             f"faults {spill['faults_injected']}, "
             f"memory fallbacks {spill['memory_fallbacks']}",
+            file=sys.stderr,
+        )
+    broadcast = ctx.broadcast_summary()
+    if broadcast["broadcasts"]:
+        print(
+            f"# broadcast: plane "
+            f"{'shm' if broadcast['enabled'] else 'pickle'}, "
+            f"{broadcast['broadcasts']} broadcasts "
+            f"({broadcast['dedup_hits']} deduped), "
+            f"{broadcast['segments']} segments / "
+            f"{broadcast['shm_bytes']} bytes published, "
+            f"{broadcast['attaches']} attaches, "
+            f"{broadcast['payload_pickles']} payload pickles, "
+            f"fallbacks {broadcast['fallbacks']}, "
+            f"faults {broadcast['faults_injected']}, "
+            f"live segments {broadcast['live_segments']}",
             file=sys.stderr,
         )
     if args.stats_out:

@@ -62,6 +62,7 @@ def similarity_join(
     trace: Tracer | bool | None = None,
     memory_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    shm_broadcast: bool | None = None,
     degrade_on_failure: bool = True,
     **options,
 ) -> JoinResult:
@@ -130,6 +131,13 @@ def similarity_join(
     spill_dir:
         Parent directory for the spill files; requires
         ``memory_budget_bytes``.  Only valid without ``ctx``.
+    shm_broadcast:
+        Broadcast plane of the auto-created context: ``True`` forces the
+        zero-copy shared-memory plane (raises where unsupported),
+        ``False`` forces the classic pickle plane, ``None`` (default)
+        auto-detects.  Results and stats are byte-identical either way.
+        Only valid without ``ctx`` — pass
+        ``Context(shm_broadcast=...)`` instead.
     degrade_on_failure:
         When a backend is marked broken
         (:class:`~repro.minispark.chaos.ExecutorBrokenError`: workers
@@ -156,7 +164,8 @@ def similarity_join(
                             ("chaos", chaos), ("speculation", speculation),
                             ("trace", trace),
                             ("memory_budget_bytes", memory_budget_bytes),
-                            ("spill_dir", spill_dir)):
+                            ("spill_dir", spill_dir),
+                            ("shm_broadcast", shm_broadcast)):
             if value is not None:
                 raise ValueError(
                     f"pass either ctx or {name}, not both — build the "
@@ -188,6 +197,7 @@ def similarity_join(
         tracer=trace,
         memory_budget_bytes=memory_budget_bytes,
         spill_dir=spill_dir,
+        shm_broadcast=shm_broadcast,
     )
     ships_rankings = (
         algorithm not in ("vj", "vj-nl", "cl", "cl-p")

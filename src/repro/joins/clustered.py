@@ -147,6 +147,9 @@ def cl_join(
     phase_seconds: dict = {}
     pinned: list = []
 
+    # Broadcast scope: any segment published during this join is
+    # unlinked when the join finishes.
+    ctx.broadcasts.push_scope()
     try:
         # -------------------------------------------------- Phase 1: order
         with phase_scope(ctx, "ordering", phase_seconds):
@@ -282,6 +285,7 @@ def cl_join(
     finally:
         for cached in pinned:
             cached.unpersist()
+        ctx.broadcasts.pop_scope()
 
     results = [(i, j, d) for (i, j), d in final]
     _check_results_counter(stats, final)
@@ -653,6 +657,9 @@ def _cl_join_compact(
     phase_seconds: dict = {}
     pinned: list = []
 
+    # Broadcast scope: any segment published during this join is
+    # unlinked when the join finishes.
+    ctx.broadcasts.push_scope()
     try:
         # -------------------------------------------------- Phase 1: order
         with phase_scope(ctx, "ordering", phase_seconds):
@@ -804,6 +811,7 @@ def _cl_join_compact(
     finally:
         for cached in pinned:
             cached.unpersist()
+        ctx.broadcasts.pop_scope()
 
     results = [(i, j, d) for (i, j), d in final]
     _check_results_counter(stats, final)

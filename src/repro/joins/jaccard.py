@@ -98,6 +98,9 @@ def jaccard_join(
     phase_seconds: dict = {}
     pinned: list = []
 
+    # Broadcast scope: the frequency-table segment is unlinked when the
+    # join finishes.
+    ctx.broadcasts.push_scope()
     try:
         with phase_scope(ctx, "ordering", phase_seconds):
             rdd = ctx.parallelize(dataset.rankings, num_partitions)
@@ -155,6 +158,7 @@ def jaccard_join(
     finally:
         for cached in pinned:
             cached.unpersist()
+        ctx.broadcasts.pop_scope()
     # The same pair is found under every shared prefix item; kernels count
     # each discovery and deduplication keeps one, so a merged counter
     # below the result count means worker-side counts were lost.

@@ -62,6 +62,22 @@ def metric_partition_join(
     channel = ctx.stats_channel(JoinStats, stats)
     phase_seconds: dict = {}
 
+    # Broadcast scope: the centroid table's segment is unlinked when the
+    # join finishes.
+    ctx.broadcasts.push_scope()
+    try:
+        return _metric_partition_join(
+            ctx, dataset, theta, num_centroids, num_partitions, seed,
+            theta_raw, stats, channel, phase_seconds,
+        )
+    finally:
+        ctx.broadcasts.pop_scope()
+
+
+def _metric_partition_join(
+    ctx, dataset, theta, num_centroids, num_partitions, seed,
+    theta_raw, stats, channel, phase_seconds,
+):
     # ---- Partitioning stage: pick centroids, route every ranking.
     with phase_scope(ctx, "partitioning", phase_seconds):
         rng = random.Random(seed)

@@ -106,6 +106,10 @@ def vj_join(
     phase_seconds: dict = {}
     pinned: list = []
 
+    # Broadcast scope: segments published by this join (the columnar
+    # store / frequency table) are unlinked when the join finishes — no
+    # shared-memory segment outlives a join.
+    ctx.broadcasts.push_scope()
     try:
         with phase_scope(ctx, "ordering", phase_seconds):
             rdd = ctx.parallelize(dataset.rankings, num_partitions)
@@ -160,6 +164,7 @@ def vj_join(
     finally:
         for cached in pinned:
             cached.unpersist()
+        ctx.broadcasts.pop_scope()
 
     if token_format == "compact":
         # The rarest-item rule generates each result pair exactly once,

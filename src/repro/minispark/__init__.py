@@ -7,6 +7,13 @@ measured task durations onto a configurable ``executors x cores`` shape.
 """
 
 from .accumulators import StatsChannel, local_stats
+from .broadcast import (
+    BroadcastLostError,
+    BroadcastManager,
+    find_broadcasts,
+    handles_only,
+    shm_available,
+)
 from .chaos import (
     CHAOS_KILL_EXIT_CODE,
     ChaosDiskError,
@@ -52,6 +59,8 @@ __all__ = [
     "TABLE3_CONFIG",
     "Accumulator",
     "Broadcast",
+    "BroadcastLostError",
+    "BroadcastManager",
     "ChaosDiskError",
     "ChaosError",
     "ChaosPolicy",
@@ -86,7 +95,10 @@ __all__ = [
     "StatsChannel",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "find_broadcasts",
+    "handles_only",
     "local_stats",
     "phase_scope",
     "portable_hash",
+    "shm_available",
 ]

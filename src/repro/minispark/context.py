@@ -8,6 +8,7 @@ import weakref
 from typing import Callable, Iterable
 
 from .accumulators import StatsChannel
+from .broadcast import Broadcast, BroadcastManager
 from .chaos import FaultPlan, RetryPolicy, SpeculationPolicy
 from .cluster import ClusterConfig, ClusterModel, CostModel
 from .executors import TaskExecutor, make_executor
@@ -16,20 +17,6 @@ from .rdd import ParallelCollectionRDD, RDD
 from .scheduler import Scheduler
 from .spill import SpillManager
 from .tracing import Tracer, make_tracer
-
-
-class Broadcast:
-    """A read-only value shared with every task (``sc.broadcast`` analog).
-
-    On real Spark this ships one copy per executor; here it is a thin
-    wrapper, but the algorithms use it exactly as on the cluster (the VJ
-    frequency table, prefix sizes, thresholds).
-    """
-
-    __slots__ = ("value",)
-
-    def __init__(self, value):
-        self.value = value
 
 
 class Accumulator:
@@ -118,6 +105,15 @@ class Context:
         Parent directory for spill segment files (a unique subdirectory
         is created inside it and removed on cleanup).  Defaults to the
         system temp directory; requires ``memory_budget_bytes``.
+    shm_broadcast:
+        Whether :meth:`broadcast` publishes values into named
+        shared-memory segments so broadcast handles ship as segment
+        references instead of payload copies
+        (:mod:`repro.minispark.broadcast`).  The default ``None``
+        auto-detects: on when ``multiprocessing.shared_memory`` works
+        and ``REPRO_NO_SHM`` is unset.  ``False`` forces the pickle
+        plane (byte-identical results, larger per-stage
+        ``broadcast_bytes``).
     tracer:
         Structured tracing (:mod:`repro.minispark.tracing`).  Pass a
         :class:`~repro.minispark.tracing.Tracer` to share one across
@@ -142,6 +138,7 @@ class Context:
         tracer: Tracer | bool | None = None,
         memory_budget_bytes: int | None = None,
         spill_dir: str | os.PathLike | None = None,
+        shm_broadcast: bool | None = None,
     ):
         if default_parallelism <= 0:
             raise ValueError(
@@ -190,6 +187,14 @@ class Context:
             if memory_budget_bytes is not None
             else None
         )
+        #: Managed broadcast registry (zero-copy shared-memory plane
+        #: when available; pickle plane otherwise — same results).
+        self.broadcasts = BroadcastManager(
+            shm_broadcast,
+            chaos=chaos,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
         self.scheduler = Scheduler(self)
         #: Live accumulator channels, by id — weak so a channel vanishes
         #: with the join that created it (its value object outlives it).
@@ -217,7 +222,15 @@ class Context:
         return self.parallelize(lines, num_partitions)
 
     def broadcast(self, value) -> Broadcast:
-        return Broadcast(value)
+        """Publish a read-only value to every task (``sc.broadcast``).
+
+        Managed by the context's :class:`BroadcastManager`: repeated
+        broadcasts of the *same object* return the same handle (identity
+        dedup), and when shared memory is available the payload is
+        published once into a named segment so the handle pickles to a
+        segment reference instead of a payload copy.
+        """
+        return self.broadcasts.broadcast(value)
 
     def accumulator(self, initial=0) -> Accumulator:
         return Accumulator(initial)
@@ -277,6 +290,10 @@ class Context:
         if self.spill is None:
             return {}
         return self.spill.summary()
+
+    def broadcast_summary(self) -> dict:
+        """Lifetime broadcast-plane accounting (segments, bytes, dedup)."""
+        return self.broadcasts.summary()
 
     def simulated_seconds(self, cluster: ClusterConfig | None = None) -> float:
         """Replay all recorded jobs on a cluster shape (defaults to own)."""

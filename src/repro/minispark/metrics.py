@@ -3,8 +3,11 @@
 Every job records, per stage, the wall-clock duration of each task, the
 record counts flowing through, and — for shuffle map stages — the
 estimated pickled size of what crossed the (simulated) wire
-(``shuffle_bytes``, stride-sampled by the scheduler).  The measurements
-serve two purposes:
+(``shuffle_bytes``, stride-sampled by the scheduler).  Broadcast traffic
+is accounted separately in ``broadcast_bytes`` — broadcast handles
+serialize without their payloads inside the estimator (see
+:mod:`repro.minispark.broadcast`), so ``shuffle_bytes`` measures shuffle
+records only.  The measurements serve two purposes:
 
 * they are the raw material of the :class:`repro.minispark.cluster
   .ClusterModel`, which replays the task durations onto a configurable
@@ -80,6 +83,9 @@ class StageMetrics:
     spilled_bytes: int = 0  # segment bytes this stage wrote to disk
     spill_files: int = 0  # segment files this stage wrote
     spill_read_retries: int = 0  # transient re-opens while reading spills
+    # --- broadcast plane (see repro.minispark.broadcast) -------------
+    broadcast_bytes: int = 0  # handle (+ payload, on the pickle plane) bytes
+    broadcast_handles: int = 0  # broadcast handles this stage's closures reference
     # --- accumulator channel (see repro.minispark.accumulators) ------
     stats_deltas_merged: int = 0  # winning-attempt deltas folded in
     stats_deltas_deduped: int = 0  # repeats of an already-merged scope
@@ -208,6 +214,14 @@ class JobMetrics:
     @property
     def total_worker_respawns(self) -> int:
         return sum(s.worker_respawns for s in self.stages)
+
+    @property
+    def total_broadcast_bytes(self) -> int:
+        return sum(s.broadcast_bytes for s in self.stages)
+
+    @property
+    def total_broadcast_handles(self) -> int:
+        return sum(s.broadcast_handles for s in self.stages)
 
     @property
     def total_spilled_bytes(self) -> int:

@@ -37,6 +37,15 @@ validation/recovery cycle — with *exact* full-file checksums instead of
 stride samples — so a damaged spill file is recomputed from lineage
 exactly like a lost in-memory shuffle.
 
+Broadcast accounting: before each stage launches, a closure scan
+(:func:`repro.minispark.broadcast.find_broadcasts`) collects the
+broadcast handles the stage's tasks can reach and charges their traffic
+into ``StageMetrics.broadcast_bytes`` — handle bytes only on the
+shared-memory plane (the payload crossed once, at publish), handle plus
+payload bytes on the pickle plane.  ``shuffle_bytes`` stays pure shuffle
+traffic: the stride-sampled estimator and the shuffle checksum serialize
+broadcast handles without payloads (``handles_only``).
+
 Every task attempt is timed with ``perf_counter``; the durations, record
 counts, shuffle volumes, recovery events, and each stage's wall-clock time
 land in a :class:`~repro.minispark.metrics.JobMetrics` that the cluster
@@ -60,6 +69,7 @@ import pickle
 import zlib
 from time import perf_counter
 
+from .broadcast import handles_only
 from .chaos import TaskPolicy
 from .metrics import JobMetrics, StageMetrics
 from .rdd import RDD, ShuffleDependency
@@ -111,22 +121,28 @@ def shuffle_checksum(outputs: list, sample: int) -> int:
     re-reads the files; see ``Scheduler._shuffle_valid``).
     """
     crc = zlib.crc32(repr([len(bucket) for bucket in outputs]).encode())
-    for bucket in outputs:
-        if isinstance(bucket, SpilledBucket):
-            crc = zlib.crc32(repr(bucket.fingerprint()).encode(), crc)
-            continue
-        if sample <= 0:
-            continue
-        size = len(bucket)
-        if size == 0:
-            continue
-        stride = max(1, -(-size // sample))
-        for index in range(0, size, stride):
-            try:
-                data = pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
-            except _UNPICKLABLE_ERRORS:
+    # handles_only: a broadcast handle inside a record fingerprints as a
+    # stable reference, never as a payload snapshot — the checksum must
+    # not change when a broadcast's transport plane does.
+    with handles_only():
+        for bucket in outputs:
+            if isinstance(bucket, SpilledBucket):
+                crc = zlib.crc32(repr(bucket.fingerprint()).encode(), crc)
                 continue
-            crc = zlib.crc32(data, crc)
+            if sample <= 0:
+                continue
+            size = len(bucket)
+            if size == 0:
+                continue
+            stride = max(1, -(-size // sample))
+            for index in range(0, size, stride):
+                try:
+                    data = pickle.dumps(
+                        bucket[index], pickle.HIGHEST_PROTOCOL
+                    )
+                except _UNPICKLABLE_ERRORS:
+                    continue
+                crc = zlib.crc32(data, crc)
     return crc
 
 
@@ -143,6 +159,26 @@ class Scheduler:
 
     def __init__(self, context):
         self.context = context
+
+    def _charge_broadcasts(self, stage: StageMetrics, roots) -> None:
+        """Account broadcast traffic a stage references, before it runs.
+
+        The closure scan finds every :class:`Broadcast` handle reachable
+        from the stage's task closures; the broadcast manager charges
+        handle bytes (shm plane) or handle + payload bytes (pickle
+        plane) into ``StageMetrics.broadcast_bytes`` — kept strictly
+        apart from ``shuffle_bytes``, which only measures shuffle
+        records.  Running before the stage also gives the manager its
+        chance to inject the seeded segment-unlink fault and demote lost
+        segments to the pickle plane while every worker can still see a
+        consistent state.
+        """
+        manager = getattr(self.context, "broadcasts", None)
+        if manager is None:
+            return
+        nbytes, handles = manager.charge_stage(stage.name, roots)
+        stage.broadcast_bytes = nbytes
+        stage.broadcast_handles = handles
 
     def _task_policy(self, stage_name: str) -> TaskPolicy:
         """Bundle the context's resilience settings for one stage."""
@@ -225,6 +261,11 @@ class Scheduler:
             )
             if spill is not None:
                 span.annotate(spill_read_retries=stage.spill_read_retries)
+            if stage.broadcast_handles:
+                span.annotate(
+                    broadcast_bytes=stage.broadcast_bytes,
+                    broadcast_handles=stage.broadcast_handles,
+                )
         for outcome in outcomes:
             if not outcome.ok:
                 raise outcome.error
@@ -332,6 +373,7 @@ class Scheduler:
                 (lambda index=index: list(rdd.iterator(index)))
                 for index in range(rdd.num_partitions)
             ]
+            self._charge_broadcasts(stage, (rdd,))
             results = self._run_stage(stage, tasks)
         finally:
             if tracer is not None:
@@ -498,6 +540,7 @@ class Scheduler:
             return run_map_task
 
         tasks = [make_map_task(i) for i in range(parent.num_partitions)]
+        self._charge_broadcasts(stage, (parent, dep.aggregator))
         spill_before = spill.snapshot() if spill is not None else None
         task_results = self._run_stage(stage, tasks)
 

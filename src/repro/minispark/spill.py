@@ -64,6 +64,7 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 
+from .broadcast import handles_only
 from .chaos import ChaosDiskError
 
 #: Segment file header; the trailing byte versions the layout.
@@ -191,23 +192,28 @@ def write_segment(path: str, key: str, parts: list) -> Segment:
                 nbytes += len(data)
 
             put(SEGMENT_MAGIC)
-            frame: list = []
-            for part in parts:
-                for record in part:
-                    frame.append(record)
-                    if len(frame) >= FRAME_RECORDS:
-                        payload = pickle.dumps(
-                            frame, pickle.HIGHEST_PROTOCOL
-                        )
-                        put(_U32.pack(len(payload)))
-                        put(payload)
-                        records += len(frame)
-                        frame = []
-            if frame:
-                payload = pickle.dumps(frame, pickle.HIGHEST_PROTOCOL)
-                put(_U32.pack(len(payload)))
-                put(payload)
-                records += len(frame)
+            # handles_only: broadcast payloads are never spilled — a
+            # broadcast handle inside a record frames as a registry
+            # reference, resolved from the live registry on read-back,
+            # so the spill budget sees each broadcast exactly 0 times.
+            with handles_only():
+                frame: list = []
+                for part in parts:
+                    for record in part:
+                        frame.append(record)
+                        if len(frame) >= FRAME_RECORDS:
+                            payload = pickle.dumps(
+                                frame, pickle.HIGHEST_PROTOCOL
+                            )
+                            put(_U32.pack(len(payload)))
+                            put(payload)
+                            records += len(frame)
+                            frame = []
+                if frame:
+                    payload = pickle.dumps(frame, pickle.HIGHEST_PROTOCOL)
+                    put(_U32.pack(len(payload)))
+                    put(payload)
+                    records += len(frame)
             put(_U32.pack(0))
             put(_U64.pack(records))
             handle.write(_U32.pack(crc))
@@ -400,19 +406,24 @@ def sampled_records_bytes(buckets: list, sample: int) -> int:
         return 0
     measured_bytes = 0
     measured = 0
-    for bucket in buckets:
-        size = len(bucket)
-        if size == 0:
-            continue
-        stride = max(1, -(-size // sample))  # ceil: at most `sample` probes
-        for index in range(0, size, stride):
-            try:
-                measured_bytes += len(
-                    pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
-                )
-            except _UNPICKLABLE_ERRORS:
+    # handles_only: a broadcast handle inside a sampled record measures
+    # as its reference size, so broadcast payloads inflate neither
+    # ``shuffle_bytes`` nor spill decisions (they are accounted once,
+    # by the broadcast plane).
+    with handles_only():
+        for bucket in buckets:
+            size = len(bucket)
+            if size == 0:
                 continue
-            measured += 1
+            stride = max(1, -(-size // sample))  # ceil: <= `sample` probes
+            for index in range(0, size, stride):
+                try:
+                    measured_bytes += len(
+                        pickle.dumps(bucket[index], pickle.HIGHEST_PROTOCOL)
+                    )
+                except _UNPICKLABLE_ERRORS:
+                    continue
+                measured += 1
     if measured == 0:
         return 0
     return round(total_records * (measured_bytes / measured))
